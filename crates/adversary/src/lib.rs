@@ -1,0 +1,39 @@
+//! # adversary
+//!
+//! Adversarial transaction generation under the `(ρ, b)` constraint of
+//! classical adversarial queuing theory (Borodin et al.), as instantiated
+//! for blockchain sharding in Section 3 of the paper:
+//!
+//! > *The adversary is restricted such that the congestion on each shard
+//! > within a contiguous time interval of duration `t > 0` is limited to at
+//! > most `ρt + b` transactions per shard.*
+//!
+//! Each injected transaction adds one unit of congestion to every shard it
+//! accesses. The module structure:
+//!
+//! * [`budget`] — per-shard leaky buckets that *enforce* the constraint at
+//!   generation time; no trace this crate emits can violate it.
+//! * [`strategy`] — adversarial strategies: the uniform-random workload and
+//!   the single-burst "pessimistic" workload of Section 7, the
+//!   pairwise-conflict construction from the Theorem 1 lower bound,
+//!   hot-shard pressure, and periodic burst trains.
+//! * [`generator`] — the [`Adversary`] driver that turns strategy proposals
+//!   into admitted [`Transaction`]s with globally unique ids.
+//! * [`validate`] — an `O(T·s)` sliding-window validator that checks a
+//!   recorded trace against `ρt + b` over *every* window, used by tests and
+//!   by downstream consumers that want end-to-end assurance.
+//!
+//! [`Transaction`]: sharding_core::Transaction
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod generator;
+pub mod strategy;
+pub mod validate;
+
+pub use budget::ShardBudgets;
+pub use generator::{Adversary, AdversaryConfig, WorkloadShape};
+pub use strategy::StrategyKind;
+pub use validate::{tightest_burstiness, validate_trace, TraceRecorder};

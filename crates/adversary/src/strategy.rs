@@ -1,0 +1,393 @@
+//! Adversarial workload strategies.
+//!
+//! A strategy proposes *candidate* transactions each round (as shard access
+//! sets); the [`Adversary`](crate::Adversary) driver admits the prefix the
+//! `(ρ, b)` budget allows and drops the rest. This split keeps strategies
+//! free to be maximally aggressive — the budget layer guarantees
+//! conformance regardless.
+//!
+//! The paper's own simulation (Section 7) uses what is here called
+//! [`StrategyKind::SingleBurst`]: "Burstiness was introduced within only
+//! one epoch throughout the total rounds … pessimistic scenarios where
+//! queues start being already loaded and in the remaining time the system
+//! tries to prevent their further growth under the regular arrival of
+//! other transactions."
+
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use serde::{Deserialize, Serialize};
+use sharding_core::rngutil::Rng;
+use sharding_core::{Round, ShardId, SystemConfig};
+
+/// Which adversarial strategy generates the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Steady injection at rate `ρ`, each transaction accessing a uniformly
+    /// random set of `1..=k` shards. No deliberate burst (the bucket still
+    /// permits incidental ones).
+    #[default]
+    UniformRandom,
+    /// The paper's Section 7 workload: steady rate plus one maximal burst
+    /// that drains every bucket at `burst_round`.
+    SingleBurst {
+        /// Round at which the full burstiness budget is spent.
+        burst_round: u64,
+    },
+    /// The Theorem 1 lower-bound construction: groups of `p+1` mutually
+    /// conflicting transactions, every pair sharing a dedicated shard
+    /// (`p = min(k−1, largest p with p(p+1)/2 ≤ s)`). Drives any scheduler
+    /// to instability once `ρ` exceeds `2/(p+2)`.
+    PairwiseConflict,
+    /// Every transaction touches shard 0 (plus `k−1` random others):
+    /// maximal single-shard pressure, the DoS shape from the introduction.
+    HotShard,
+    /// Bursts that recur every `period` rounds, draining the buckets each
+    /// time — a sustained DoS attack.
+    BurstTrain {
+        /// Rounds between consecutive bursts.
+        period: u64,
+    },
+    /// Steady rate plus a one-time burst of exactly `count` transactions
+    /// (random access sets) at `burst_round`. This is the workload the
+    /// paper's Section 7 figures use when they speak of "burstiness b":
+    /// `b` total transactions injected in one epoch, spread over random
+    /// shards — the per-shard congestion of the burst is roughly
+    /// `count·k̄/s`, well inside a `(ρ, b)` envelope with bucket depth
+    /// `b = count`.
+    CountBurst {
+        /// Round at which the burst is injected.
+        burst_round: u64,
+        /// Number of transactions in the burst.
+        count: u64,
+    },
+    /// Steady rate with Zipf-skewed shard popularity: shard `i` is chosen
+    /// with probability ∝ `1/(i+1)^exponent`. Models realistic hot-account
+    /// skew (exchanges, popular contracts) between the uniform workload
+    /// (`exponent = 0`) and the single-hot-shard attack (`exponent → ∞`).
+    Zipf {
+        /// Skew exponent; 0 = uniform, ~1 = web-like skew.
+        exponent: f64,
+    },
+}
+
+/// A candidate transaction proposal: the distinct shards it will write.
+pub(crate) type Proposal = Vec<ShardId>;
+
+/// Internal stateful proposer created from a [`StrategyKind`].
+pub(crate) struct Proposer {
+    kind: StrategyKind,
+    /// Deterministic fractional carry for smooth rate pacing.
+    carry: f64,
+    /// Round-robin cursor for the pairwise-conflict groups.
+    group_cursor: usize,
+    /// Cached Zipf CDF over shards (built lazily).
+    zipf_cdf: Vec<f64>,
+}
+
+impl Proposer {
+    pub(crate) fn new(kind: StrategyKind) -> Self {
+        Proposer { kind, carry: 0.0, group_cursor: 0, zipf_cdf: Vec::new() }
+    }
+
+    /// Proposes candidate access sets for `round`.
+    ///
+    /// `rho`/`burst` are the adversary parameters, used to pace steady-state
+    /// proposals near the admissible rate; the budget layer enforces the
+    /// hard constraint either way.
+    pub(crate) fn propose(
+        &mut self,
+        cfg: &SystemConfig,
+        rho: f64,
+        burst: u64,
+        round: Round,
+        rng: &mut Rng,
+    ) -> Vec<Proposal> {
+        match self.kind {
+            StrategyKind::UniformRandom => self.steady(cfg, rho, rng),
+            StrategyKind::SingleBurst { burst_round } => {
+                let mut out = self.steady(cfg, rho, rng);
+                if round.raw() == burst_round {
+                    out.extend(self.burst_batch(cfg, burst, rng));
+                }
+                out
+            }
+            StrategyKind::PairwiseConflict => self.pairwise(cfg, rho, rng),
+            StrategyKind::HotShard => {
+                let mut out = self.steady(cfg, rho, rng);
+                for p in &mut out {
+                    if !p.contains(&ShardId(0)) {
+                        p[0] = ShardId(0);
+                        p.sort_unstable();
+                        p.dedup();
+                    }
+                }
+                out
+            }
+            StrategyKind::BurstTrain { period } => {
+                let mut out = self.steady(cfg, rho, rng);
+                if period > 0 && round.raw().is_multiple_of(period) {
+                    out.extend(self.burst_batch(cfg, burst, rng));
+                }
+                out
+            }
+            StrategyKind::CountBurst { burst_round, count } => {
+                let mut out = self.steady(cfg, rho, rng);
+                if round.raw() == burst_round {
+                    out.extend((0..count).map(|_| random_shard_set(cfg, rng)));
+                }
+                out
+            }
+            StrategyKind::Zipf { exponent } => {
+                if self.zipf_cdf.is_empty() {
+                    self.zipf_cdf = zipf_cdf(cfg.shards, exponent);
+                }
+                let avg_width = (1 + cfg.k_max) as f64 / 2.0;
+                self.carry += rho * cfg.shards as f64 / avg_width;
+                let n = self.carry.floor() as usize;
+                self.carry -= n as f64;
+                let cdf = &self.zipf_cdf;
+                (0..n).map(|_| zipf_shard_set(cfg, cdf, rng)).collect()
+            }
+        }
+    }
+
+    /// Steady-state pacing: per-round transaction count `n` chosen so the
+    /// expected per-shard congestion is `ρ` — with `s` shards and an average
+    /// access width `w`, that is `n ≈ ρ·s/w`. A fractional carry keeps the
+    /// long-run rate exact without randomness in the count.
+    fn steady(&mut self, cfg: &SystemConfig, rho: f64, rng: &mut Rng) -> Vec<Proposal> {
+        let avg_width = (1 + cfg.k_max) as f64 / 2.0;
+        self.carry += rho * cfg.shards as f64 / avg_width;
+        let n = self.carry.floor() as usize;
+        self.carry -= n as f64;
+        (0..n).map(|_| random_shard_set(cfg, rng)).collect()
+    }
+
+    /// A batch large enough to drain every bucket: about `(b+1)·s / 1`
+    /// single-width candidates plus wide ones, shuffled. Overshooting is
+    /// fine — the budget admits exactly what the constraint allows.
+    fn burst_batch(&mut self, cfg: &SystemConfig, burst: u64, rng: &mut Rng) -> Vec<Proposal> {
+        let mut out = Vec::new();
+        for s in 0..cfg.shards as u32 {
+            for _ in 0..=burst {
+                out.push(vec![ShardId(s)]);
+            }
+        }
+        out.shuffle(rng);
+        out
+    }
+
+    /// Theorem 1 construction: with `p+1` transactions over `r = p(p+1)/2`
+    /// shards, transaction `i` accesses, for every `j ≠ i`, the shard
+    /// dedicated to the unordered pair `{i, j}`. Every pair of transactions
+    /// then conflicts on its dedicated shard.
+    fn pairwise(&mut self, cfg: &SystemConfig, rho: f64, rng: &mut Rng) -> Vec<Proposal> {
+        let p = pairwise_p(cfg);
+        let group = pairwise_group(p);
+        // Pace at per-shard rate rho: each group contributes congestion 2 to
+        // each of its shards, and spans p+1 transactions of width p.
+        // Target: groups per round g with 2g <= rho  → g = rho/2 (carried).
+        self.carry += rho / 2.0;
+        let mut out = Vec::new();
+        while self.carry >= 1.0 {
+            self.carry -= 1.0;
+            let start = self.group_cursor;
+            self.group_cursor = self.group_cursor.wrapping_add(1);
+            let _ = start;
+            for t in &group {
+                out.push(t.clone());
+            }
+        }
+        let _ = rng;
+        out
+    }
+}
+
+/// Largest usable `p` for the pairwise construction under `(k, s)`:
+/// transactions have width `p ≤ k`, and `p(p+1)/2` dedicated shards must
+/// exist.
+pub fn pairwise_p(cfg: &SystemConfig) -> usize {
+    let by_s = sharding_core::bounds::max_triangular_p(cfg.shards);
+    by_s.min(cfg.k_max).max(1)
+}
+
+/// The access sets of one pairwise-conflict group for parameter `p`:
+/// `p+1` transactions, each of width `p`, every pair sharing a unique shard.
+pub fn pairwise_group(p: usize) -> Vec<Vec<ShardId>> {
+    // Assign shard ids to unordered pairs {i,j}, 0 <= i < j <= p, in
+    // lexicographic order.
+    let mut shard_of_pair = std::collections::BTreeMap::new();
+    let mut next = 0u32;
+    for i in 0..=p {
+        for j in (i + 1)..=p {
+            shard_of_pair.insert((i, j), ShardId(next));
+            next += 1;
+        }
+    }
+    (0..=p)
+        .map(|i| {
+            let mut set: Vec<ShardId> = (0..=p)
+                .filter(|&j| j != i)
+                .map(|j| shard_of_pair[&(i.min(j), i.max(j))])
+                .collect();
+            set.sort_unstable();
+            set.dedup();
+            set
+        })
+        .collect()
+}
+
+/// Cumulative distribution of the Zipf law `P(i) ∝ 1/(i+1)^a` over `s`
+/// shards.
+pub(crate) fn zipf_cdf(s: usize, exponent: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(s);
+    let mut total = 0.0;
+    for i in 0..s {
+        total += 1.0 / ((i + 1) as f64).powf(exponent);
+        cdf.push(total);
+    }
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Samples a Zipf-distributed shard set of size `1..=k_max` (distinct
+/// shards; rejection on duplicates, bounded by a scan fallback).
+pub(crate) fn zipf_shard_set(cfg: &SystemConfig, cdf: &[f64], rng: &mut Rng) -> Proposal {
+    let width = rng.gen_range(1..=cfg.k_max);
+    let mut set: Vec<ShardId> = Vec::with_capacity(width);
+    let mut attempts = 0;
+    while set.len() < width {
+        let u: f64 = rng.gen();
+        let idx = cdf.partition_point(|&c| c < u).min(cfg.shards - 1);
+        let cand = ShardId(idx as u32);
+        if !set.contains(&cand) {
+            set.push(cand);
+        }
+        attempts += 1;
+        if attempts > 16 * width {
+            // Heavily skewed tail: fill with the smallest unused ids.
+            for i in 0..cfg.shards as u32 {
+                if set.len() == width {
+                    break;
+                }
+                if !set.contains(&ShardId(i)) {
+                    set.push(ShardId(i));
+                }
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Uniformly random non-empty shard set of size `1..=k_max`.
+pub(crate) fn random_shard_set(cfg: &SystemConfig, rng: &mut Rng) -> Proposal {
+    let width = rng.gen_range(1..=cfg.k_max);
+    let mut all: Vec<u32> = (0..cfg.shards as u32).collect();
+    let (chosen, _) = all.partial_shuffle(rng, width);
+    let mut set: Vec<ShardId> = chosen.iter().map(|&i| ShardId(i)).collect();
+    set.sort_unstable();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharding_core::rngutil::seeded_rng;
+
+    #[test]
+    fn pairwise_group_every_pair_shares_unique_shard() {
+        for p in 1..=6 {
+            let group = pairwise_group(p);
+            assert_eq!(group.len(), p + 1);
+            for t in &group {
+                assert_eq!(t.len(), p, "each txn accesses p shards");
+            }
+            // Every pair shares exactly one shard; that shard is unique to
+            // the pair.
+            let mut seen = std::collections::BTreeSet::new();
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    let shared: Vec<_> = group[i]
+                        .iter()
+                        .filter(|s| group[j].contains(s))
+                        .collect();
+                    assert_eq!(shared.len(), 1, "pair ({i},{j}) shares exactly one shard");
+                    assert!(seen.insert(*shared[0]), "shared shard is unique to the pair");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_p_respects_k_and_s() {
+        let cfg = SystemConfig { shards: 64, k_max: 8, ..SystemConfig::paper_simulation() };
+        assert_eq!(pairwise_p(&cfg), 8);
+        let cfg = SystemConfig { shards: 6, k_max: 8, accounts: 6, ..SystemConfig::tiny() };
+        // max p with p(p+1)/2 <= 6 is 3.
+        assert_eq!(pairwise_p(&cfg), 3);
+    }
+
+    #[test]
+    fn steady_rate_paces_to_rho() {
+        let cfg = SystemConfig::paper_simulation();
+        let mut prop = Proposer::new(StrategyKind::UniformRandom);
+        let mut rng = seeded_rng(1);
+        let rho = 0.1;
+        let rounds = 2000;
+        let mut total_congestion = 0usize;
+        for r in 0..rounds {
+            for p in prop.propose(&cfg, rho, 1, Round(r), &mut rng) {
+                total_congestion += p.len();
+            }
+        }
+        let per_shard = total_congestion as f64 / cfg.shards as f64 / rounds as f64;
+        assert!(
+            (per_shard - rho).abs() < 0.02,
+            "expected per-shard congestion ≈ {rho}, got {per_shard}"
+        );
+    }
+
+    #[test]
+    fn shard_sets_are_sorted_unique_and_bounded() {
+        let cfg = SystemConfig::paper_simulation();
+        let mut rng = seeded_rng(2);
+        for _ in 0..200 {
+            let set = random_shard_set(&cfg, &mut rng);
+            assert!(!set.is_empty() && set.len() <= cfg.k_max);
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+            assert!(set.iter().all(|s| s.index() < cfg.shards));
+        }
+    }
+
+    #[test]
+    fn hot_shard_always_touches_shard_zero() {
+        let cfg = SystemConfig::paper_simulation();
+        let mut prop = Proposer::new(StrategyKind::HotShard);
+        let mut rng = seeded_rng(3);
+        let mut any = false;
+        for r in 0..100 {
+            for p in prop.propose(&cfg, 0.2, 1, Round(r), &mut rng) {
+                assert!(p.contains(&ShardId(0)));
+                any = true;
+            }
+        }
+        assert!(any, "some proposals generated");
+    }
+
+    #[test]
+    fn single_burst_fires_once() {
+        let cfg = SystemConfig { shards: 4, accounts: 4, k_max: 2, ..SystemConfig::tiny() };
+        let mut prop = Proposer::new(StrategyKind::SingleBurst { burst_round: 5 });
+        let mut rng = seeded_rng(4);
+        let mut sizes = Vec::new();
+        for r in 0..10 {
+            sizes.push(prop.propose(&cfg, 0.05, 3, Round(r), &mut rng).len());
+        }
+        let burst = sizes[5];
+        let max_other = sizes.iter().enumerate().filter(|(i, _)| *i != 5).map(|(_, &s)| s).max().unwrap();
+        assert!(burst > max_other + 5, "burst round proposes much more: {sizes:?}");
+    }
+}

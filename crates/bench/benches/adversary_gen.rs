@@ -1,0 +1,65 @@
+//! Criterion benches for adversarial generation and trace validation.
+
+use adversary::{tightest_burstiness, validate_trace, Adversary, AdversaryConfig, StrategyKind, TraceRecorder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sharding_core::{AccountMap, Round, SystemConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let sys = SystemConfig::paper_simulation();
+    let map = AccountMap::round_robin(&sys);
+    let mut g = c.benchmark_group("adversary");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("uniform", StrategyKind::UniformRandom),
+        ("pairwise", StrategyKind::PairwiseConflict),
+        ("hot_shard", StrategyKind::HotShard),
+    ] {
+        g.bench_function(format!("gen_2000_rounds_{name}"), |b| {
+            b.iter(|| {
+                let mut adv = Adversary::new(
+                    &sys,
+                    &map,
+                    AdversaryConfig { rho: 0.2, burstiness: 100, strategy, seed: 1, ..Default::default() },
+                );
+                let mut total = 0usize;
+                for r in 0..2_000u64 {
+                    total += adv.generate(Round(r)).len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let sys = SystemConfig::paper_simulation();
+    let map = AccountMap::round_robin(&sys);
+    let mut adv = Adversary::new(
+        &sys,
+        &map,
+        AdversaryConfig {
+            rho: 0.2,
+            burstiness: 100,
+            strategy: StrategyKind::UniformRandom,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let mut rec = TraceRecorder::new(sys.shards);
+    for r in 0..5_000u64 {
+        rec.record_round(adv.generate(Round(r)).iter());
+    }
+    let mut g = c.benchmark_group("trace_validation");
+    g.sample_size(10);
+    g.bench_function("validate_5000x64", |b| {
+        b.iter(|| validate_trace(&rec, 0.2, 100).unwrap())
+    });
+    g.bench_function("tightest_burstiness_5000x64", |b| {
+        b.iter(|| tightest_burstiness(&rec, 0.2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for conflict-graph construction and coloring — the
+//! leader shard's per-epoch hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use conflict::{dsatur, greedy_by_accounts, greedy_by_order, ConflictGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sharding_core::rngutil::seeded_rng;
+use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+
+fn workload(n: usize, s: usize, k: usize, seed: u64) -> Vec<Transaction> {
+    let sys = SystemConfig {
+        shards: s,
+        accounts: s,
+        k_max: k,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::round_robin(&sys);
+    let mut rng = seeded_rng(seed);
+    (0..n as u64)
+        .map(|i| {
+            let width = rng.gen_range(1..=k);
+            let mut ids: Vec<u32> = (0..s as u32).collect();
+            let (chosen, _) = ids.partial_shuffle(&mut rng, width);
+            let mut shards: Vec<ShardId> = chosen.iter().map(|&x| ShardId(x)).collect();
+            shards.sort_unstable();
+            Transaction::writing_shards(TxnId(i), ShardId(0), Round::ZERO, &map, &shards).unwrap()
+        })
+        .collect()
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conflict_graph_build");
+    g.sample_size(10);
+    for &n in &[100usize, 400, 1600] {
+        let txns = workload(n, 64, 8, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &txns, |bch, txns| {
+            bch.iter(|| ConflictGraph::build(txns))
+        });
+    }
+    g.finish();
+}
+
+fn bench_colorings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coloring");
+    g.sample_size(10);
+    let txns = workload(800, 64, 8, 2);
+    let graph = ConflictGraph::build(&txns);
+    let order: Vec<u32> = (0..graph.len() as u32).collect();
+    g.bench_function("greedy_graph_800", |b| b.iter(|| greedy_by_order(&graph, &order)));
+    g.bench_function("greedy_accounts_800", |b| b.iter(|| greedy_by_accounts(&txns)));
+    g.bench_function("dsatur_800", |b| b.iter(|| dsatur(&graph)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_colorings);
+criterion_main!(benches);

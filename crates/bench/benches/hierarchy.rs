@@ -1,0 +1,47 @@
+//! Criterion benches for the cluster hierarchy: construction cost and
+//! home-cluster query latency.
+
+use cluster::{Hierarchy, LineMetric, RingMetric, ShardMetric};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sharding_core::ShardId;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy_build");
+    g.sample_size(10);
+    for &s in &[64usize, 128, 256] {
+        g.bench_with_input(BenchmarkId::new("line", s), &s, |b, &s| {
+            let m = LineMetric::new(s);
+            b.iter(|| Hierarchy::build(&m))
+        });
+    }
+    g.bench_function("ring_128_h2_4", |b| {
+        let m = RingMetric::new(128);
+        b.iter(|| Hierarchy::build_with_sublayers(&m, 4))
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let m = LineMetric::new(128);
+    let h = Hierarchy::build(&m);
+    let mut g = c.benchmark_group("hierarchy_query");
+    g.sample_size(20);
+    g.bench_function("home_cluster_128", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for shard in (0..128u32).step_by(7) {
+                for x in [1u64, 5, 20, 90] {
+                    acc = acc.wrapping_add(h.home_cluster(ShardId(shard), x).layer);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("neighborhood_128", |b| {
+        b.iter(|| m.neighborhood(ShardId(64), 30).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

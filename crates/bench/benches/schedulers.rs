@@ -1,0 +1,63 @@
+//! Criterion benches for full scheduler rounds: simulated rounds per
+//! second of BDS, FDS, and the FCFS baseline at fixed workloads, plus the
+//! threaded networked runtime.
+
+use adversary::{AdversaryConfig, StrategyKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use schedulers::baseline::{run_fcfs, FcfsConfig};
+use schedulers::bds::run_bds;
+use schedulers::fds::run_fds_line;
+use sharding_core::{AccountMap, Round, SystemConfig};
+
+fn setup() -> (SystemConfig, AccountMap, AdversaryConfig) {
+    let sys = SystemConfig::paper_simulation();
+    let map = AccountMap::round_robin(&sys);
+    let adv = AdversaryConfig {
+        rho: 0.1,
+        burstiness: 50,
+        strategy: StrategyKind::UniformRandom,
+        seed: 1,
+        ..Default::default()
+    };
+    (sys, map, adv)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (sys, map, adv) = setup();
+    let rounds = Round(1_000);
+    let mut g = c.benchmark_group("scheduler_1000_rounds_s64_rho0.1");
+    g.sample_size(10);
+    g.bench_function("bds", |b| b.iter(|| run_bds(&sys, &map, &adv, rounds)));
+    g.bench_function("fds_line", |b| b.iter(|| run_fds_line(&sys, &map, &adv, rounds)));
+    g.bench_function("fcfs", |b| {
+        b.iter(|| run_fcfs(&sys, &map, &adv, rounds, FcfsConfig { respect_capacity: true }))
+    });
+    g.finish();
+}
+
+fn bench_networked(c: &mut Criterion) {
+    let sys = SystemConfig {
+        shards: 8,
+        accounts: 8,
+        k_max: 3,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::round_robin(&sys);
+    let adv = AdversaryConfig {
+        rho: 0.05,
+        burstiness: 10,
+        strategy: StrategyKind::UniformRandom,
+        seed: 2,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("networked_runtime");
+    g.sample_size(10);
+    g.bench_function("net_bds_8shards_500rounds", |b| {
+        b.iter(|| runtime::run_networked_bds(&sys, &map, &adv, Round(500)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_networked);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Empirical stability frontier: binary-search the largest injection rate
+//! ρ* each scheduler sustains, per workload, and compare against the
+//! theoretical thresholds.
+//!
+//! "The main performance metric for the scheduler is its ability to handle
+//! the maximum transaction generation rate while maintaining system
+//! stability" (Section 1) — this binary measures exactly that. A rate
+//! counts as sustained when the run resolves ≥ 95% of generated
+//! transactions and the stability detector reports `Stable`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin frontier
+//! ```
+
+use adversary::{AdversaryConfig, StrategyKind};
+use bench::Opts;
+use cluster::{LineMetric, UniformMetric};
+use schedulers::baseline::{run_fcfs, FcfsConfig};
+use schedulers::bds::{run_bds_with_metric, BdsConfig};
+use schedulers::fds::{run_fds, FdsConfig};
+use schedulers::RunReport;
+use sharding_core::stats::StabilityVerdict;
+use sharding_core::{bounds, AccountMap, Round, SystemConfig};
+
+fn sustained(r: &RunReport) -> bool {
+    r.resolution_rate() >= 0.95 && r.verdict == StabilityVerdict::Stable
+}
+
+/// Binary-search the largest sustainable rho in [lo, hi] to 0.01.
+fn search(mut lo: f64, mut hi: f64, mut run: impl FnMut(f64) -> RunReport) -> f64 {
+    // Ensure lo is sustainable; otherwise report 0.
+    if !sustained(&run(lo)) {
+        return 0.0;
+    }
+    while hi - lo > 0.01 {
+        let mid = (lo + hi) / 2.0;
+        if sustained(&run(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    let opts = Opts::parse(6_000);
+    let sys = SystemConfig::paper_simulation();
+    let map = AccountMap::random(&sys, 1);
+    let rounds = Round(opts.rounds);
+    let uniform = UniformMetric::new(sys.shards);
+    let line = LineMetric::new(sys.shards);
+    let workload = |rho: f64| AdversaryConfig {
+        rho,
+        burstiness: 100,
+        strategy: StrategyKind::UniformRandom,
+        seed: 5,
+        ..Default::default()
+    };
+
+    println!(
+        "Empirical stability frontier (s=64, k=8, uniform-random workload, {} rounds)\n",
+        opts.rounds
+    );
+    println!("Theoretical anchors:");
+    println!(
+        "  Theorem 1 absolute bound            rho* = {:.4}",
+        bounds::theorem1_threshold(sys.k_max, sys.shards)
+    );
+    println!(
+        "  Theorem 2 BDS guaranteed-stable     rho  = {:.4}",
+        bounds::bds_rate_bound(sys.k_max, sys.shards)
+    );
+    println!(
+        "  Paper-observed knees                BDS ≈ 0.15, FDS ≈ 0.18\n"
+    );
+
+    let bds = search(0.02, 0.5, |rho| {
+        run_bds_with_metric(&sys, &map, &workload(rho), rounds, &uniform, BdsConfig::default())
+    });
+    println!("BDS  (uniform):         sustains rho ≈ {bds:.2}");
+
+    let fds = search(0.02, 0.5, |rho| {
+        run_fds(&sys, &map, &workload(rho), rounds, &line, FdsConfig::default())
+    });
+    println!("FDS  (line, W=16):      sustains rho ≈ {fds:.2}");
+
+    let fds_w4 = search(0.02, 0.5, |rho| {
+        run_fds(
+            &sys,
+            &map,
+            &workload(rho),
+            rounds,
+            &line,
+            FdsConfig { pipeline_window: 4, ..FdsConfig::default() },
+        )
+    });
+    println!("FDS  (line, W=4):       sustains rho ≈ {fds_w4:.2}");
+
+    let fcfs = search(0.02, 0.9, |rho| {
+        run_fcfs(&sys, &map, &workload(rho), rounds, FcfsConfig { respect_capacity: true })
+    });
+    println!("FCFS (idealized):       sustains rho ≈ {fcfs:.2}");
+
+    println!(
+        "\nExpected ordering: Theorem-2 guarantee < BDS empirical < FCFS ideal, \
+         and FDS(W=4) < FDS(W=16). Guarantees are worst-case over all \
+         adversaries; empirical knees are for this (benign-random) workload."
+    );
+}

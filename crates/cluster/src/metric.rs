@@ -1,0 +1,298 @@
+//! Distance models between shards.
+//!
+//! A round is the unit of time (one intra-shard consensus); the *distance*
+//! between two shards is the number of rounds a message needs between them
+//! (Section 3). The uniform model is distance 1 everywhere; the non-uniform
+//! model allows distances `1..=D` where `D` is the diameter.
+
+use sharding_core::ShardId;
+
+/// A metric on shard ids. Implementations must be symmetric, zero on the
+/// diagonal, and satisfy the triangle inequality (checked for
+/// [`ExplicitMetric`] at construction).
+pub trait ShardMetric: Send + Sync {
+    /// Number of shards `s`.
+    fn shards(&self) -> usize;
+
+    /// Distance (in rounds) between `a` and `b`; 0 iff `a == b`.
+    fn distance(&self, a: ShardId, b: ShardId) -> u64;
+
+    /// Diameter `D = max_{a,b} distance(a, b)`.
+    fn diameter(&self) -> u64 {
+        let s = self.shards() as u32;
+        let mut d = 0;
+        for a in 0..s {
+            for b in (a + 1)..s {
+                d = d.max(self.distance(ShardId(a), ShardId(b)));
+            }
+        }
+        d.max(1)
+    }
+
+    /// All shards within distance `q` of `center` (the `q`-neighborhood,
+    /// including `center` itself), ascending by id.
+    fn neighborhood(&self, center: ShardId, q: u64) -> Vec<ShardId> {
+        (0..self.shards() as u32)
+            .map(ShardId)
+            .filter(|&x| self.distance(center, x) <= q)
+            .collect()
+    }
+
+    /// Maximum distance from `home` to any shard in `set` (0 for empty).
+    fn eccentricity_to(&self, home: ShardId, set: &[ShardId]) -> u64 {
+        set.iter().map(|&x| self.distance(home, x)).max().unwrap_or(0)
+    }
+}
+
+/// The uniform communication model: every pair of distinct shards is at
+/// distance exactly 1 (a clique with unit weights).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformMetric {
+    s: usize,
+}
+
+impl UniformMetric {
+    /// Uniform metric over `s` shards.
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1);
+        UniformMetric { s }
+    }
+}
+
+impl ShardMetric for UniformMetric {
+    fn shards(&self) -> usize {
+        self.s
+    }
+    fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        u64::from(a != b)
+    }
+    fn diameter(&self) -> u64 {
+        1
+    }
+}
+
+/// Shards arranged on a line: `distance(S_i, S_j) = |i − j|` — the
+/// topology of the paper's Algorithm 2 simulation (Section 7).
+#[derive(Debug, Clone, Copy)]
+pub struct LineMetric {
+    s: usize,
+}
+
+impl LineMetric {
+    /// Line metric over `s` shards.
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1);
+        LineMetric { s }
+    }
+}
+
+impl ShardMetric for LineMetric {
+    fn shards(&self) -> usize {
+        self.s
+    }
+    fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        (a.raw() as i64 - b.raw() as i64).unsigned_abs()
+    }
+    fn diameter(&self) -> u64 {
+        (self.s as u64 - 1).max(1)
+    }
+}
+
+/// Shards on a ring: `distance = min(|i−j|, s − |i−j|)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RingMetric {
+    s: usize,
+}
+
+impl RingMetric {
+    /// Ring metric over `s` shards.
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1);
+        RingMetric { s }
+    }
+}
+
+impl ShardMetric for RingMetric {
+    fn shards(&self) -> usize {
+        self.s
+    }
+    fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        let d = (a.raw() as i64 - b.raw() as i64).unsigned_abs();
+        d.min(self.s as u64 - d)
+    }
+    fn diameter(&self) -> u64 {
+        ((self.s / 2) as u64).max(1)
+    }
+}
+
+/// Shards on a `w × h` grid with Manhattan distance; shard `i` sits at
+/// `(i % w, i / w)`.
+#[derive(Debug, Clone, Copy)]
+pub struct GridMetric {
+    w: usize,
+    h: usize,
+}
+
+impl GridMetric {
+    /// Grid metric; requires `w·h >= 1`.
+    pub fn new(w: usize, h: usize) -> Self {
+        assert!(w >= 1 && h >= 1);
+        GridMetric { w, h }
+    }
+}
+
+impl ShardMetric for GridMetric {
+    fn shards(&self) -> usize {
+        self.w * self.h
+    }
+    fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        let (ax, ay) = (a.index() % self.w, a.index() / self.w);
+        let (bx, by) = (b.index() % self.w, b.index() / self.w);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+    fn diameter(&self) -> u64 {
+        ((self.w - 1) + (self.h - 1)).max(1) as u64
+    }
+}
+
+/// Arbitrary symmetric distance matrix.
+#[derive(Debug, Clone)]
+pub struct ExplicitMetric {
+    s: usize,
+    d: Vec<u64>,
+}
+
+impl ExplicitMetric {
+    /// Builds from a full `s × s` matrix (row-major). Panics unless the
+    /// matrix is symmetric, zero-diagonal, positive off-diagonal, and
+    /// satisfies the triangle inequality.
+    pub fn new(s: usize, matrix: Vec<u64>) -> Self {
+        assert_eq!(matrix.len(), s * s, "matrix must be s×s");
+        for i in 0..s {
+            assert_eq!(matrix[i * s + i], 0, "diagonal must be zero");
+            for j in 0..s {
+                assert_eq!(matrix[i * s + j], matrix[j * s + i], "must be symmetric");
+                if i != j {
+                    assert!(matrix[i * s + j] >= 1, "off-diagonal must be >= 1");
+                }
+            }
+        }
+        for i in 0..s {
+            for j in 0..s {
+                for k in 0..s {
+                    assert!(
+                        matrix[i * s + j] <= matrix[i * s + k] + matrix[k * s + j],
+                        "triangle inequality violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+        ExplicitMetric { s, d: matrix }
+    }
+}
+
+impl ShardMetric for ExplicitMetric {
+    fn shards(&self) -> usize {
+        self.s
+    }
+    fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        self.d[a.index() * self.s + b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_metric_axioms(m: &dyn ShardMetric) {
+        let s = m.shards() as u32;
+        for a in 0..s {
+            assert_eq!(m.distance(ShardId(a), ShardId(a)), 0);
+            for b in 0..s {
+                assert_eq!(m.distance(ShardId(a), ShardId(b)), m.distance(ShardId(b), ShardId(a)));
+                if a != b {
+                    assert!(m.distance(ShardId(a), ShardId(b)) >= 1);
+                }
+                for c in 0..s {
+                    assert!(
+                        m.distance(ShardId(a), ShardId(b))
+                            <= m.distance(ShardId(a), ShardId(c)) + m.distance(ShardId(c), ShardId(b))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axioms_hold_for_all_shapes() {
+        check_metric_axioms(&UniformMetric::new(6));
+        check_metric_axioms(&LineMetric::new(7));
+        check_metric_axioms(&RingMetric::new(8));
+        check_metric_axioms(&GridMetric::new(3, 4));
+    }
+
+    #[test]
+    fn line_matches_paper_example() {
+        // "the distance between S1 and S2 is 1 … S1 to S3 is 2, S1 to S4 is 3"
+        let m = LineMetric::new(64);
+        assert_eq!(m.distance(ShardId(0), ShardId(1)), 1);
+        assert_eq!(m.distance(ShardId(0), ShardId(2)), 2);
+        assert_eq!(m.distance(ShardId(0), ShardId(3)), 3);
+        assert_eq!(m.diameter(), 63);
+    }
+
+    #[test]
+    fn uniform_diameter_is_one() {
+        let m = UniformMetric::new(64);
+        assert_eq!(m.diameter(), 1);
+        assert_eq!(m.distance(ShardId(5), ShardId(5)), 0);
+        assert_eq!(m.distance(ShardId(5), ShardId(6)), 1);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let m = RingMetric::new(10);
+        assert_eq!(m.distance(ShardId(0), ShardId(9)), 1);
+        assert_eq!(m.distance(ShardId(0), ShardId(5)), 5);
+        assert_eq!(m.diameter(), 5);
+    }
+
+    #[test]
+    fn grid_manhattan() {
+        let m = GridMetric::new(4, 3);
+        // shard 0 at (0,0), shard 11 at (3,2).
+        assert_eq!(m.distance(ShardId(0), ShardId(11)), 5);
+        assert_eq!(m.diameter(), 5);
+        assert_eq!(m.shards(), 12);
+    }
+
+    #[test]
+    fn neighborhood_is_sorted_and_inclusive() {
+        let m = LineMetric::new(10);
+        let n = m.neighborhood(ShardId(4), 2);
+        let ids: Vec<u32> = n.iter().map(|s| s.raw()).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5, 6]);
+        assert_eq!(m.neighborhood(ShardId(0), 0), vec![ShardId(0)]);
+    }
+
+    #[test]
+    fn explicit_metric_validates() {
+        let m = ExplicitMetric::new(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]);
+        check_metric_axioms(&m);
+        assert_eq!(m.diameter(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle")]
+    fn explicit_metric_rejects_triangle_violation() {
+        // d(0,2) = 5 > d(0,1) + d(1,2) = 2.
+        ExplicitMetric::new(3, vec![0, 1, 5, 1, 0, 1, 5, 1, 0]);
+    }
+
+    #[test]
+    fn eccentricity_to_set() {
+        let m = LineMetric::new(10);
+        assert_eq!(m.eccentricity_to(ShardId(0), &[ShardId(3), ShardId(7)]), 7);
+        assert_eq!(m.eccentricity_to(ShardId(0), &[]), 0);
+    }
+}

@@ -1,0 +1,542 @@
+//! Vertex colorings of the conflict graph.
+//!
+//! A *proper* coloring assigns conflicting transactions different colors;
+//! each color class then commits concurrently in one 4-round group
+//! (Algorithm 1, Phase 3). Three algorithms are provided:
+//!
+//! * [`greedy_by_order`] — first-fit in a caller-supplied order. This is the
+//!   "simple greedy coloring" the paper's simulation uses and the one the
+//!   Lemma 1/2 analysis assumes (≤ Δ+1 colors).
+//! * [`dsatur`] — Brélaz's saturation-degree heuristic; usually fewer colors
+//!   at slightly higher cost. Used by the ablation benches.
+//! * [`heavy_light`] — the split coloring from Case 2 of Lemmas 1–2: heavy
+//!   transactions (accessing more than `⌈√s⌉` shards) each get a unique
+//!   color, light ones are greedily colored among themselves.
+
+use crate::graph::ConflictGraph;
+use sharding_core::txn::Transaction;
+
+/// Which coloring algorithm a scheduler should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColoringStrategy {
+    /// First-fit greedy in transaction-id order (the paper's default).
+    #[default]
+    Greedy,
+    /// DSATUR (saturation-degree) heuristic.
+    Dsatur,
+    /// Heavy/light split per the Lemma 1/2 Case-2 analysis; the payload is
+    /// the heaviness threshold, normally `⌈√s⌉`.
+    HeavyLight {
+        /// Transactions accessing strictly more shards than this are heavy.
+        threshold: usize,
+    },
+}
+
+/// A coloring of a [`ConflictGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u32>,
+    num_colors: u32,
+}
+
+impl Coloring {
+    /// Color of vertex `v`.
+    #[inline]
+    pub fn color(&self, v: usize) -> u32 {
+        self.colors[v]
+    }
+
+    /// All vertex colors, indexed by vertex.
+    #[inline]
+    pub fn colors(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Number of distinct colors used.
+    #[inline]
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// Vertices grouped by color: entry `c` lists the vertices of color `c`.
+    pub fn classes(&self) -> Vec<Vec<u32>> {
+        let mut classes = vec![Vec::new(); self.num_colors as usize];
+        for (v, &c) in self.colors.iter().enumerate() {
+            classes[c as usize].push(v as u32);
+        }
+        classes
+    }
+
+    /// Verifies the coloring is proper for `graph`.
+    pub fn is_proper(&self, graph: &ConflictGraph) -> bool {
+        (0..graph.len()).all(|v| {
+            graph
+                .neighbors(v)
+                .iter()
+                .all(|&u| self.colors[u as usize] != self.colors[v])
+        })
+    }
+}
+
+/// Applies `strategy` to `graph` (with `txns` available for the heavy/light
+/// split, which needs per-transaction shard counts).
+pub fn color_with(strategy: ColoringStrategy, graph: &ConflictGraph, txns: &[Transaction]) -> Coloring {
+    match strategy {
+        ColoringStrategy::Greedy => {
+            let order: Vec<u32> = (0..graph.len() as u32).collect();
+            greedy_by_order(graph, &order)
+        }
+        ColoringStrategy::Dsatur => dsatur(graph),
+        ColoringStrategy::HeavyLight { threshold } => heavy_light(graph, txns, threshold),
+    }
+}
+
+/// First-fit greedy coloring in the given vertex order. Uses at most
+/// `Δ+1` colors for any order — the property Lemma 1 relies on.
+pub fn greedy_by_order(graph: &ConflictGraph, order: &[u32]) -> Coloring {
+    debug_assert_eq!(order.len(), graph.len());
+    let n = graph.len();
+    const UNSET: u32 = u32::MAX;
+    let mut colors = vec![UNSET; n];
+    // Scratch marker: forbidden[c] == v means color c is used by a neighbor
+    // of the vertex currently being colored (epoch trick avoids clearing).
+    let mut forbidden = vec![UNSET; n + 1];
+    let mut num_colors = 0u32;
+    for (stamp, &v) in order.iter().enumerate() {
+        let v = v as usize;
+        for &u in graph.neighbors(v) {
+            let c = colors[u as usize];
+            if c != UNSET {
+                forbidden[c as usize] = stamp as u32;
+            }
+        }
+        let mut c = 0u32;
+        while forbidden[c as usize] == stamp as u32 {
+            c += 1;
+        }
+        colors[v] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { colors, num_colors }
+}
+
+/// First-fit greedy coloring computed directly from the transactions'
+/// access sets, without materializing the conflict graph.
+///
+/// Produces *exactly* the same coloring as [`greedy_by_order`] on
+/// [`ConflictGraph::build`]`(txns)` in index order (first-fit only needs
+/// each vertex's forbidden-color set, which equals the union of colors
+/// used by earlier writers of any touched account plus earlier readers of
+/// any written account). Crucially it avoids the `O(m²)` edge blow-up of
+/// per-account cliques, which matters for unstable runs where epoch
+/// batches reach tens of thousands of mutually conflicting transactions.
+pub fn greedy_by_accounts(txns: &[Transaction]) -> Coloring {
+    use sharding_core::txn::AccessKind;
+    use sharding_core::AccountId;
+    use std::collections::BTreeMap;
+
+    /// Grow-on-demand bitset over colors.
+    #[derive(Default)]
+    struct ColorSet {
+        words: Vec<u64>,
+    }
+    impl ColorSet {
+        fn insert(&mut self, c: u32) {
+            let w = (c / 64) as usize;
+            if w >= self.words.len() {
+                self.words.resize(w + 1, 0);
+            }
+            self.words[w] |= 1 << (c % 64);
+        }
+        fn or_into(&self, acc: &mut Vec<u64>) {
+            if self.words.len() > acc.len() {
+                acc.resize(self.words.len(), 0);
+            }
+            for (a, w) in acc.iter_mut().zip(&self.words) {
+                *a |= w;
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct AccountColors {
+        writers: ColorSet,
+        readers: ColorSet,
+    }
+
+    let mut per_account: BTreeMap<AccountId, AccountColors> = BTreeMap::new();
+    let mut colors = Vec::with_capacity(txns.len());
+    let mut num_colors = 0u32;
+    let mut forbidden: Vec<u64> = Vec::new();
+    for t in txns {
+        forbidden.clear();
+        for a in t.accesses() {
+            if let Some(ac) = per_account.get(&a.account) {
+                // Anyone conflicts with earlier writers; a writer also
+                // conflicts with earlier readers.
+                ac.writers.or_into(&mut forbidden);
+                if a.kind == AccessKind::Write {
+                    ac.readers.or_into(&mut forbidden);
+                }
+            }
+        }
+        // Smallest color absent from `forbidden`.
+        let mut c = 0u32;
+        'search: for (w, &word) in forbidden.iter().enumerate() {
+            if word != u64::MAX {
+                c = w as u32 * 64 + (!word).trailing_zeros();
+                break 'search;
+            }
+            c = (w as u32 + 1) * 64;
+        }
+        colors.push(c);
+        num_colors = num_colors.max(c + 1);
+        for a in t.accesses() {
+            let ac = per_account.entry(a.account).or_default();
+            match a.kind {
+                AccessKind::Write => ac.writers.insert(c),
+                AccessKind::Read => ac.readers.insert(c),
+            }
+        }
+    }
+    Coloring { colors, num_colors }
+}
+
+/// Colors a transaction batch with `strategy`, choosing the edge-free
+/// greedy path when possible (the scheduler hot path).
+pub fn color_transactions(strategy: ColoringStrategy, txns: &[Transaction]) -> Coloring {
+    match strategy {
+        ColoringStrategy::Greedy => greedy_by_accounts(txns),
+        other => {
+            let graph = crate::graph::ConflictGraph::build(txns);
+            color_with(other, &graph, txns)
+        }
+    }
+}
+
+/// DSATUR: repeatedly color the uncolored vertex with the largest number of
+/// distinct neighbor colors (ties broken by degree, then index).
+pub fn dsatur(graph: &ConflictGraph) -> Coloring {
+    let n = graph.len();
+    if n == 0 {
+        return Coloring { colors: Vec::new(), num_colors: 0 };
+    }
+    const UNSET: u32 = u32::MAX;
+    let mut colors = vec![UNSET; n];
+    // Saturation sets as bitsets over colors (colors ≤ Δ+1 ≤ n).
+    let words = n / 64 + 1;
+    let mut sat: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    let mut sat_deg = vec![0u32; n];
+    let mut num_colors = 0u32;
+
+    for _ in 0..n {
+        // Pick the uncolored vertex with max (saturation, degree, -index).
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if colors[v] != UNSET {
+                continue;
+            }
+            best = Some(match best {
+                None => v,
+                Some(b) => {
+                    let key_v = (sat_deg[v], graph.degree(v));
+                    let key_b = (sat_deg[b], graph.degree(b));
+                    if key_v > key_b {
+                        v
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let v = best.expect("an uncolored vertex exists");
+        // Smallest color absent from v's saturation set.
+        let mut c = 0u32;
+        while sat[v][(c / 64) as usize] >> (c % 64) & 1 == 1 {
+            c += 1;
+        }
+        colors[v] = c;
+        num_colors = num_colors.max(c + 1);
+        for &u in graph.neighbors(v) {
+            let u = u as usize;
+            if colors[u] != UNSET {
+                continue;
+            }
+            let w = (c / 64) as usize;
+            let bit = 1u64 << (c % 64);
+            if sat[u][w] & bit == 0 {
+                sat[u][w] |= bit;
+                sat_deg[u] += 1;
+            }
+        }
+    }
+    Coloring { colors, num_colors }
+}
+
+/// The Case-2 split coloring of Lemmas 1–2: every *heavy* transaction
+/// (strictly more than `threshold` destination shards) receives a unique
+/// color; *light* transactions are greedily colored among themselves using
+/// a disjoint color range. Total colors ≤ `#heavy + Δ_light + 1`, matching
+/// the `ζ = ζ₁ + ζ₂` budget in the proofs.
+pub fn heavy_light(graph: &ConflictGraph, txns: &[Transaction], threshold: usize) -> Coloring {
+    assert_eq!(graph.len(), txns.len());
+    let n = txns.len();
+    const UNSET: u32 = u32::MAX;
+    let mut colors = vec![UNSET; n];
+    let mut next = 0u32;
+    // Heavy transactions: unique colors 0..h.
+    for (v, t) in txns.iter().enumerate() {
+        if t.shard_count() > threshold {
+            colors[v] = next;
+            next += 1;
+        }
+    }
+    // Light transactions: greedy first-fit over colors >= h, ignoring
+    // heavy neighbors (their colors are unique, so a light txn can never
+    // clash with them in the >= h range).
+    let base = next;
+    let light: Vec<u32> =
+        (0..n as u32).filter(|&v| colors[v as usize] == UNSET).collect();
+    let mut num_colors = base;
+    let mut forbidden: Vec<u32> = vec![UNSET; n + 1];
+    for (stamp, &v) in light.iter().enumerate() {
+        let v = v as usize;
+        for &u in graph.neighbors(v) {
+            let c = colors[u as usize];
+            if c != UNSET && c >= base {
+                forbidden[(c - base) as usize] = stamp as u32;
+            }
+        }
+        let mut c = 0u32;
+        while forbidden[c as usize] == stamp as u32 {
+            c += 1;
+        }
+        colors[v] = base + c;
+        num_colors = num_colors.max(base + c + 1);
+    }
+    Coloring { colors, num_colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sharding_core::config::{AccountMap, SystemConfig};
+    use sharding_core::ids::{Round, ShardId, TxnId};
+    use sharding_core::rngutil::seeded_rng;
+    use sharding_core::txn::Transaction;
+
+    fn random_graph(n: usize, p: f64, seed: u64) -> ConflictGraph {
+        let mut rng = seeded_rng(seed);
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        ConflictGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn greedy_is_proper_and_within_delta_plus_one() {
+        for seed in 0..8 {
+            let g = random_graph(60, 0.2, seed);
+            let order: Vec<u32> = (0..g.len() as u32).collect();
+            let c = greedy_by_order(&g, &order);
+            assert!(c.is_proper(&g), "seed {seed}");
+            assert!(
+                c.num_colors() as usize <= g.max_degree() + 1,
+                "seed {seed}: {} colors > Δ+1 = {}",
+                c.num_colors(),
+                g.max_degree() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_on_empty_graph() {
+        let g = ConflictGraph::from_edges(0, &[]);
+        let c = greedy_by_order(&g, &[]);
+        assert_eq!(c.num_colors(), 0);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn greedy_on_independent_set_uses_one_color() {
+        let g = ConflictGraph::from_edges(10, &[]);
+        let order: Vec<u32> = (0..10).collect();
+        let c = greedy_by_order(&g, &order);
+        assert_eq!(c.num_colors(), 1);
+    }
+
+    #[test]
+    fn greedy_on_clique_uses_n_colors() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = ConflictGraph::from_edges(6, &edges);
+        let order: Vec<u32> = (0..6).collect();
+        let c = greedy_by_order(&g, &order);
+        assert_eq!(c.num_colors(), 6);
+    }
+
+    #[test]
+    fn dsatur_proper_and_no_worse_than_greedy_on_crown() {
+        // Crown graphs are the classic case where id-order greedy does badly
+        // (n/2 colors) but DSATUR is optimal (2 colors).
+        // Crown S_k^0: vertices u_i, w_i; u_i ~ w_j iff i != j. Order
+        // u0,w0,u1,w1,... makes first-fit use k colors.
+        let k = 6;
+        let mut edges = Vec::new();
+        for i in 0..k as u32 {
+            for j in 0..k as u32 {
+                if i != j {
+                    edges.push((2 * i, 2 * j + 1));
+                }
+            }
+        }
+        let g = ConflictGraph::from_edges(2 * k, &edges);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 2, "crown graph is bipartite");
+        let order: Vec<u32> = (0..2 * k as u32).collect();
+        let greedy = greedy_by_order(&g, &order);
+        assert!(greedy.num_colors() > c.num_colors());
+    }
+
+    #[test]
+    fn dsatur_proper_on_random_graphs() {
+        for seed in 0..8 {
+            let g = random_graph(50, 0.3, seed + 100);
+            let c = dsatur(&g);
+            assert!(c.is_proper(&g), "seed {seed}");
+            assert!(c.num_colors() as usize <= g.max_degree() + 1);
+        }
+    }
+
+    fn mixed_txns(seed: u64, n: usize, s: usize) -> (Vec<Transaction>, usize) {
+        let cfg = SystemConfig {
+            shards: s,
+            accounts: s,
+            k_max: s,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+        };
+        let map = AccountMap::round_robin(&cfg);
+        let mut rng = seeded_rng(seed);
+        let threshold = sharding_core::bounds::ceil_sqrt(s);
+        let txns = (0..n as u64)
+            .map(|i| {
+                let width = if rng.gen_bool(0.3) {
+                    rng.gen_range(threshold + 1..=s.min(2 * threshold + 1))
+                } else {
+                    rng.gen_range(1..=threshold)
+                };
+                let mut shards: Vec<ShardId> = Vec::new();
+                while shards.len() < width {
+                    let cand = ShardId(rng.gen_range(0..s as u32));
+                    if !shards.contains(&cand) {
+                        shards.push(cand);
+                    }
+                }
+                Transaction::writing_shards(TxnId(i), ShardId(0), Round::ZERO, &map, &shards)
+                    .unwrap()
+            })
+            .collect();
+        (txns, threshold)
+    }
+
+    #[test]
+    fn heavy_light_proper_and_heavies_unique() {
+        for seed in 0..6 {
+            let (txns, threshold) = mixed_txns(seed, 40, 16);
+            let g = ConflictGraph::build(&txns);
+            let c = heavy_light(&g, &txns, threshold);
+            assert!(c.is_proper(&g), "seed {seed}");
+            // Heavy txns must have pairwise distinct colors.
+            let heavy_colors: Vec<u32> = txns
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.shard_count() > threshold)
+                .map(|(v, _)| c.color(v))
+                .collect();
+            let mut sorted = heavy_colors.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), heavy_colors.len(), "heavy colors unique");
+        }
+    }
+
+    #[test]
+    fn classes_partition_vertices() {
+        let g = random_graph(30, 0.25, 5);
+        let c = dsatur(&g);
+        let classes = c.classes();
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, g.len());
+        for (color, class) in classes.iter().enumerate() {
+            for &v in class {
+                assert_eq!(c.color(v as usize), color as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_by_accounts_equals_graph_greedy() {
+        for seed in 0..10 {
+            let (txns, _) = mixed_txns(seed + 50, 60, 16);
+            let g = ConflictGraph::build(&txns);
+            let order: Vec<u32> = (0..txns.len() as u32).collect();
+            let via_graph = greedy_by_order(&g, &order);
+            let via_accounts = greedy_by_accounts(&txns);
+            assert_eq!(via_graph.colors(), via_accounts.colors(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_by_accounts_handles_readers() {
+        use sharding_core::txn::TxnBuilder;
+        let cfg = SystemConfig { shards: 4, accounts: 4, k_max: 4, nodes_per_shard: 4, faulty_per_shard: 1 };
+        let map = AccountMap::round_robin(&cfg);
+        // Two readers of account 0 (plus distinct writes) and one writer.
+        let txns = vec![
+            TxnBuilder::new(TxnId(0), ShardId(0), Round::ZERO, &map)
+                .check(sharding_core::AccountId(0), 0)
+                .update(sharding_core::AccountId(1), 1)
+                .build().unwrap(),
+            TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map)
+                .check(sharding_core::AccountId(0), 0)
+                .update(sharding_core::AccountId(2), 1)
+                .build().unwrap(),
+            TxnBuilder::new(TxnId(2), ShardId(0), Round::ZERO, &map)
+                .update(sharding_core::AccountId(0), 1)
+                .build().unwrap(),
+        ];
+        let c = greedy_by_accounts(&txns);
+        // Readers share color 0; the writer must avoid both readers.
+        assert_eq!(c.color(0), 0);
+        assert_eq!(c.color(1), 0);
+        assert_eq!(c.color(2), 1);
+        let g = ConflictGraph::build(&txns);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn color_with_dispatches() {
+        let (txns, threshold) = mixed_txns(3, 25, 16);
+        let g = ConflictGraph::build(&txns);
+        for strat in [
+            ColoringStrategy::Greedy,
+            ColoringStrategy::Dsatur,
+            ColoringStrategy::HeavyLight { threshold },
+        ] {
+            let c = color_with(strat, &g, &txns);
+            assert!(c.is_proper(&g), "{strat:?}");
+        }
+    }
+}

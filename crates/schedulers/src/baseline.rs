@@ -1,0 +1,135 @@
+//! Greedy FCFS baseline scheduler.
+//!
+//! Not from the paper — a comparison point for the benches. An idealized
+//! centralized scheduler with full knowledge: each round it scans pending
+//! transactions in arrival (id) order and commits every transaction whose
+//! accounts are untouched by earlier picks this round, subject to the
+//! model's capacity constraint of one subtransaction per shard per round.
+//! It pays no coordination rounds at all, so it upper-bounds what any
+//! real distributed protocol could commit — and still goes unstable under
+//! adversarial conflict patterns, which is the point of the comparison.
+
+use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
+use adversary::{Adversary, AdversaryConfig};
+use sharding_core::{AccountMap, Round, SystemConfig, Transaction};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Baseline configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsConfig {
+    /// If true, a committed transaction costs one round of capacity on
+    /// each accessed shard (the model's constraint); if false, unlimited
+    /// per-shard throughput (a pure conflict-only idealization).
+    pub respect_capacity: bool,
+}
+
+/// Runs the FCFS baseline for `rounds` rounds.
+pub fn run_fcfs(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: Round,
+    fcfg: FcfsConfig,
+) -> RunReport {
+    sys.validate().expect("valid system config");
+    let mut adversary = Adversary::new(sys, map, *adv);
+    let mut pending: BTreeMap<sharding_core::TxnId, Transaction> = BTreeMap::new();
+    let mut collector = MetricsCollector::new(sys.shards);
+    let mut generated = 0u64;
+
+    for r in 0..rounds.raw() {
+        let now = Round(r);
+        for t in adversary.generate(now) {
+            generated += 1;
+            pending.insert(t.id, t);
+        }
+        // Greedy maximal conflict-free set in id (FIFO) order.
+        let mut locked_accounts: BTreeSet<sharding_core::AccountId> = BTreeSet::new();
+        let mut busy_shards: BTreeSet<sharding_core::ShardId> = BTreeSet::new();
+        let mut chosen = Vec::new();
+        for (id, t) in pending.iter() {
+            let account_free = t.accesses().iter().all(|a| !locked_accounts.contains(&a.account));
+            let shard_free = !fcfg.respect_capacity || t.shards().all(|s| !busy_shards.contains(&s));
+            if account_free && shard_free {
+                for a in t.accesses() {
+                    locked_accounts.insert(a.account);
+                }
+                if fcfg.respect_capacity {
+                    for s in t.shards() {
+                        busy_shards.insert(s);
+                    }
+                }
+                chosen.push(*id);
+            }
+        }
+        for id in chosen {
+            let t = pending.remove(&id).expect("chosen from pending");
+            collector.record_commit(t.generated, now);
+        }
+        collector.sample_pending(pending.len() as u64);
+    }
+
+    let pending_at_end = pending.len() as u64;
+    collector.finish(SchedulerKind::Fcfs, rounds.raw(), generated, pending_at_end, 0, 0, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::StrategyKind;
+    use sharding_core::stats::StabilityVerdict;
+
+    fn sys() -> (SystemConfig, AccountMap) {
+        let sys = SystemConfig::paper_simulation();
+        let map = AccountMap::round_robin(&sys);
+        (sys, map)
+    }
+
+    #[test]
+    fn commits_everything_at_low_rate() {
+        let (sys, map) = sys();
+        let adv = AdversaryConfig {
+            rho: 0.05,
+            burstiness: 5,
+            strategy: StrategyKind::UniformRandom,
+            seed: 1,
+            ..Default::default()
+        };
+        let r = run_fcfs(&sys, &map, &adv, Round(2000), FcfsConfig { respect_capacity: true });
+        assert!(r.resolution_rate() > 0.95, "{}", r.summary());
+        assert_eq!(r.verdict, StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn latency_beats_bds_at_same_rate() {
+        // FCFS pays no protocol rounds, so its latency must be far below
+        // BDS's — it is the idealized upper bound.
+        let (sys, map) = sys();
+        let adv = AdversaryConfig {
+            rho: 0.05,
+            burstiness: 5,
+            strategy: StrategyKind::UniformRandom,
+            seed: 2,
+            ..Default::default()
+        };
+        let f = run_fcfs(&sys, &map, &adv, Round(1500), FcfsConfig { respect_capacity: true });
+        let b = crate::bds::run_bds(&sys, &map, &adv, Round(1500));
+        assert!(f.avg_latency < b.avg_latency, "fcfs {} vs bds {}", f.avg_latency, b.avg_latency);
+    }
+
+    #[test]
+    fn capacity_constraint_reduces_throughput() {
+        let (sys, map) = sys();
+        let adv = AdversaryConfig {
+            rho: 0.25,
+            burstiness: 50,
+            strategy: StrategyKind::HotShard,
+            seed: 3,
+            ..Default::default()
+        };
+        let with = run_fcfs(&sys, &map, &adv, Round(800), FcfsConfig { respect_capacity: true });
+        let without = run_fcfs(&sys, &map, &adv, Round(800), FcfsConfig { respect_capacity: false });
+        assert!(with.avg_latency >= without.avg_latency);
+    }
+}

@@ -1,0 +1,734 @@
+//! **Algorithm 1 — Basic Distributed Scheduler (BDS)** for the uniform
+//! communication model (Section 5 of the paper).
+//!
+//! Time is divided into epochs. Each epoch has a leader shard (rotating:
+//! `S_(epoch mod s)`), and three phases:
+//!
+//! 1. **Knowledge sharing** — every home shard sends all transactions
+//!    pending at the epoch start to the leader.
+//! 2. **Graph coloring** — the leader builds the conflict graph `G` of the
+//!    received transactions and colors it (greedy, ≤ Δ+1 colors), then
+//!    returns the color assignments.
+//! 3. **Schedule and commit** — color class `z` runs a four-round protocol
+//!    starting at its designated offset: home shards split transactions
+//!    into subtransactions and send them to destination shards (round 1);
+//!    destinations validate and vote (round 2); homes confirm commit/abort
+//!    (round 3); destinations append to their local blockchains (round 4).
+//!
+//! The epoch ends after `2 + 4·C` phase-gaps (`C` = number of colors). In
+//! the uniform model the phase gap is one round, exactly the paper's
+//! timing; on a non-uniform metric the implementation stretches every
+//! phase to the diameter `D`, preserving correctness (BDS is only
+//! *analyzed* for the uniform model, but running it elsewhere is useful
+//! for the ablation benches).
+//!
+//! All messages travel through [`simnet::Network`], so message counts and
+//! delivery timing are measured, not assumed.
+
+use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
+use adversary::{Adversary, AdversaryConfig};
+use cluster::{ShardMetric, UniformMetric};
+use conflict::{color_transactions, ColoringStrategy};
+use simnet::{LocalChain, Network, ShardLedger};
+use sharding_core::txn::SubTransaction;
+use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+use std::collections::BTreeMap;
+
+/// Tunables of the BDS run (the algorithm itself has no free parameters;
+/// these select implementation variants for ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct BdsConfig {
+    /// Coloring algorithm used by the leader (paper: greedy).
+    pub coloring: ColoringStrategy,
+    /// Rotate the leader every epoch (paper: yes). Off = fixed `S_0`,
+    /// used by the leader-rotation ablation.
+    pub rotate_leader: bool,
+    /// Initial balance of every account.
+    pub initial_balance: u64,
+}
+
+impl Default for BdsConfig {
+    fn default() -> Self {
+        BdsConfig {
+            coloring: ColoringStrategy::Greedy,
+            rotate_leader: true,
+            initial_balance: 1_000_000,
+        }
+    }
+}
+
+/// Messages of the BDS protocol.
+#[derive(Debug, Clone)]
+enum Msg {
+    // (sizes estimated by `msg_bytes` for the O(bs) accounting)
+    /// Phase 1: home shard → leader, all pending transactions.
+    TxnInfo(Vec<Transaction>),
+    /// Phase 2: leader → home shard, color per transaction.
+    ColorAssign(Vec<(TxnId, u32)>),
+    /// Phase 3 round 1: home → destination, subtransaction to validate.
+    SubTxn(SubTransaction),
+    /// Phase 3 round 2: destination → home, commit/abort vote.
+    Vote {
+        txn: TxnId,
+        commit: bool,
+    },
+    /// Phase 3 round 3: home → destination, final decision.
+    Decision {
+        txn: TxnId,
+        commit: bool,
+    },
+}
+
+/// Estimated wire size of a BDS message in bytes.
+fn msg_bytes(m: &Msg) -> usize {
+    match m {
+        Msg::TxnInfo(txns) => 16 + txns.iter().map(|t| t.approx_bytes()).sum::<usize>(),
+        Msg::ColorAssign(assignments) => 8 + 12 * assignments.len(),
+        Msg::SubTxn(sub) => sub.approx_bytes(),
+        Msg::Vote { .. } | Msg::Decision { .. } => 17,
+    }
+}
+
+/// Per-transaction state at its home shard during the epoch it is
+/// scheduled in.
+#[derive(Debug)]
+struct EpochEntry {
+    txn: Transaction,
+    color: Option<u32>,
+    votes: usize,
+    abort: bool,
+    decided: bool,
+}
+
+/// The BDS simulator. Drive it with [`BdsSim::step`] once per round.
+pub struct BdsSim {
+    sys: SystemConfig,
+    bcfg: BdsConfig,
+    net: Network<Msg>,
+    ledgers: Vec<ShardLedger>,
+    chains: Vec<LocalChain>,
+    /// Newly generated transactions waiting for the next epoch, per home
+    /// shard (the paper's "pending transactions queue").
+    injection: Vec<Vec<Transaction>>,
+    /// Transactions being processed in the current epoch, per home shard.
+    epoch_txns: Vec<BTreeMap<TxnId, EpochEntry>>,
+    /// Subtransactions parked at destinations awaiting the decision.
+    parked: Vec<BTreeMap<TxnId, SubTransaction>>,
+    /// Per-destination batch of subtransactions committed this round,
+    /// appended as one block at the end of the round (the paper's
+    /// multiple-transactions-per-block extension).
+    append_buf: Vec<Vec<SubTransaction>>,
+    /// Transactions buffered at the current leader before coloring.
+    leader_buffer: Vec<Transaction>,
+    /// Phase gap: 1 in the uniform model, metric diameter otherwise.
+    gap: u64,
+    now: Round,
+    epoch: u64,
+    epoch_start: Round,
+    /// Set when the leader colors; the round the next epoch begins.
+    next_epoch_at: Option<Round>,
+    collector: MetricsCollector,
+    max_epoch_len: u64,
+    committed_log: Vec<(Round, TxnId)>,
+    generated: u64,
+}
+
+impl BdsSim {
+    /// Creates a BDS simulation over the uniform metric.
+    pub fn new(sys: &SystemConfig, map: &AccountMap, bcfg: BdsConfig) -> Self {
+        Self::with_metric(sys, map, bcfg, &UniformMetric::new(sys.shards))
+    }
+
+    /// Creates a BDS simulation over an arbitrary metric (phases stretch
+    /// to the metric diameter).
+    pub fn with_metric(
+        sys: &SystemConfig,
+        map: &AccountMap,
+        bcfg: BdsConfig,
+        metric: &dyn ShardMetric,
+    ) -> Self {
+        sys.validate().expect("valid system config");
+        assert_eq!(metric.shards(), sys.shards);
+        let s = sys.shards;
+        let mut net = Network::new(metric);
+        net.set_sizer(msg_bytes);
+        BdsSim {
+            sys: sys.clone(),
+            bcfg,
+            net,
+            ledgers: (0..s)
+                .map(|i| ShardLedger::new(ShardId(i as u32), map, bcfg.initial_balance))
+                .collect(),
+            chains: (0..s).map(|i| LocalChain::new(ShardId(i as u32))).collect(),
+            injection: vec![Vec::new(); s],
+            epoch_txns: (0..s).map(|_| BTreeMap::new()).collect(),
+            parked: (0..s).map(|_| BTreeMap::new()).collect(),
+            append_buf: vec![Vec::new(); s],
+            leader_buffer: Vec::new(),
+            gap: metric.diameter().max(1),
+            now: Round::ZERO,
+            epoch: 0,
+            epoch_start: Round::ZERO,
+            next_epoch_at: None,
+            collector: MetricsCollector::new(s),
+            max_epoch_len: 0,
+            committed_log: Vec::new(),
+            generated: 0,
+        }
+    }
+
+    /// Current round.
+    pub fn now(&self) -> Round {
+        self.now
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The leader shard of the current epoch.
+    pub fn leader(&self) -> ShardId {
+        if self.bcfg.rotate_leader {
+            ShardId((self.epoch % self.sys.shards as u64) as u32)
+        } else {
+            ShardId(0)
+        }
+    }
+
+    /// Total pending transactions (injection queues plus in-epoch
+    /// undecided ones) — the quantity bounded by `4bs` in Theorem 2.
+    pub fn total_pending(&self) -> u64 {
+        let inj: usize = self.injection.iter().map(Vec::len).sum();
+        let in_epoch: usize = self
+            .epoch_txns
+            .iter()
+            .map(|m| m.values().filter(|e| !e.decided).count())
+            .sum();
+        (inj + in_epoch) as u64
+    }
+
+    /// The local blockchains (one per shard).
+    pub fn chains(&self) -> &[LocalChain] {
+        &self.chains
+    }
+
+    /// The shard ledgers.
+    pub fn ledgers(&self) -> &[ShardLedger] {
+        &self.ledgers
+    }
+
+    /// Commit log: (commit round, transaction id) in commit order.
+    pub fn committed_log(&self) -> &[(Round, TxnId)] {
+        &self.committed_log
+    }
+
+    /// Executes one round: inject `new_txns`, deliver and handle messages,
+    /// run the epoch state machine, and sample metrics.
+    pub fn step(&mut self, new_txns: Vec<Transaction>) {
+        let now = self.now;
+        // 1. Injection: newly generated transactions join their home
+        //    shard's pending queue.
+        self.generated += new_txns.len() as u64;
+        for t in new_txns {
+            debug_assert!(t.home.index() < self.sys.shards);
+            self.injection[t.home.index()].push(t);
+        }
+
+        // 2. Epoch transitions and phase triggers for this round.
+        if self.next_epoch_at == Some(now) {
+            let len = now.since(self.epoch_start);
+            self.max_epoch_len = self.max_epoch_len.max(len);
+            self.epoch += 1;
+            self.epoch_start = now;
+            self.next_epoch_at = None;
+        }
+        if now == self.epoch_start {
+            self.phase1_send_pending();
+        }
+
+        // 3. Message delivery and handling.
+        let due = self.net.deliver_due(now);
+        for env in due {
+            self.handle(env.from, env.to, env.payload);
+        }
+
+        // 4. Leader colors once all phase-1 messages are in.
+        if now == self.epoch_start.plus(self.gap) && self.next_epoch_at.is_none() {
+            self.phase2_color();
+        }
+
+        // 5. Phase 3: home shards dispatch the color group designated for
+        //    this round.
+        self.phase3_dispatch();
+
+        // 6. Seal this round's commits into one block per shard.
+        for d in 0..self.sys.shards {
+            if !self.append_buf[d].is_empty() {
+                let batch = std::mem::take(&mut self.append_buf[d]);
+                self.chains[d].append_block(batch, now);
+            }
+        }
+
+        // 7. Metrics.
+        self.collector.sample_pending(self.total_pending());
+        self.now = self.now.next();
+    }
+
+    /// Phase 1: every home shard drains its pending queue into the epoch
+    /// set and forwards the transactions to the leader.
+    fn phase1_send_pending(&mut self) {
+        let leader = self.leader();
+        for h in 0..self.sys.shards {
+            let drained = std::mem::take(&mut self.injection[h]);
+            if drained.is_empty() {
+                continue;
+            }
+            self.net.send(ShardId(h as u32), leader, self.now, Msg::TxnInfo(drained.clone()));
+            for t in drained {
+                self.epoch_txns[h].insert(
+                    t.id,
+                    EpochEntry { txn: t, color: None, votes: 0, abort: false, decided: false },
+                );
+            }
+        }
+    }
+
+    /// Phase 2 (at the leader): build the conflict graph, color it, send
+    /// assignments home, and fix the epoch length.
+    fn phase2_color(&mut self) {
+        let txns = std::mem::take(&mut self.leader_buffer);
+        let num_colors = if txns.is_empty() {
+            0
+        } else {
+            let coloring = color_transactions(self.bcfg.coloring, &txns);
+            // Group assignments by home shard and send them back.
+            let mut per_home: BTreeMap<ShardId, Vec<(TxnId, u32)>> = BTreeMap::new();
+            for (v, t) in txns.iter().enumerate() {
+                per_home.entry(t.home).or_default().push((t.id, coloring.color(v)));
+            }
+            let leader = self.leader();
+            for (home, assignments) in per_home {
+                self.net.send(leader, home, self.now, Msg::ColorAssign(assignments));
+            }
+            coloring.num_colors()
+        };
+        // Epoch length: 2 phase-gaps + 4 phase-gaps per color (paper:
+        // 2 + 4(Δ+1) rounds in the uniform model). An empty epoch is just
+        // the two coordination gaps.
+        let end = self.epoch_start.plus(self.gap * (2 + 4 * num_colors as u64));
+        self.next_epoch_at = Some(end);
+    }
+
+    /// Phase 3: at round `epoch_start + gap·(2 + 4z)` each home shard
+    /// sends the subtransactions of its color-`z` transactions.
+    fn phase3_dispatch(&mut self) {
+        let elapsed = self.now.since(self.epoch_start);
+        if elapsed < 2 * self.gap {
+            return;
+        }
+        let offset = elapsed - 2 * self.gap;
+        if !offset.is_multiple_of(4 * self.gap) {
+            return;
+        }
+        let z = (offset / (4 * self.gap)) as u32;
+        for h in 0..self.sys.shards {
+            let home = ShardId(h as u32);
+            // Collect sends first to appease the borrow checker.
+            let mut sends: Vec<(ShardId, SubTransaction)> = Vec::new();
+            for entry in self.epoch_txns[h].values() {
+                if entry.color == Some(z) && !entry.decided {
+                    for sub in &entry.txn.subs {
+                        sends.push((sub.dest, sub.clone()));
+                    }
+                }
+            }
+            for (dest, sub) in sends {
+                self.net.send(home, dest, self.now, Msg::SubTxn(sub));
+            }
+        }
+    }
+
+    fn handle(&mut self, from: ShardId, to: ShardId, msg: Msg) {
+        match msg {
+            Msg::TxnInfo(txns) => {
+                debug_assert_eq!(to, self.leader());
+                self.leader_buffer.extend(txns);
+            }
+            Msg::ColorAssign(assignments) => {
+                let h = to.index();
+                for (txn, color) in assignments {
+                    if let Some(e) = self.epoch_txns[h].get_mut(&txn) {
+                        e.color = Some(color);
+                    }
+                }
+            }
+            Msg::SubTxn(sub) => {
+                let d = to.index();
+                let commit = self.ledgers[d].check(&sub);
+                let txn = sub.txn;
+                self.parked[d].insert(txn, sub);
+                // Vote goes back to the transaction's home shard.
+                self.net.send(to, from, self.now, Msg::Vote { txn, commit });
+            }
+            Msg::Vote { txn, commit } => {
+                let h = to.index();
+                let Some(e) = self.epoch_txns[h].get_mut(&txn) else {
+                    return;
+                };
+                e.votes += 1;
+                e.abort |= !commit;
+                if e.votes == e.txn.shard_count() && !e.decided {
+                    e.decided = true;
+                    let commit_all = !e.abort;
+                    let dests: Vec<ShardId> = e.txn.shards().collect();
+                    let generated = e.txn.generated;
+                    for dest in dests {
+                        self.net.send(to, dest, self.now, Msg::Decision { txn, commit: commit_all });
+                    }
+                    // Commit lands at the destinations one gap later.
+                    let commit_round = self.now.plus(self.net.distance(to, e.txn.subs[0].dest).max(1));
+                    if commit_all {
+                        self.collector.record_commit(generated, commit_round);
+                        self.committed_log.push((commit_round, txn));
+                    } else {
+                        self.collector.record_abort();
+                    }
+                }
+            }
+            Msg::Decision { txn, commit } => {
+                let d = to.index();
+                if let Some(sub) = self.parked[d].remove(&txn) {
+                    if commit {
+                        self.ledgers[d].apply(&sub);
+                        self.append_buf[d].push(sub);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes the run into a [`RunReport`].
+    pub fn finish(self) -> RunReport {
+        let pending = self.total_pending();
+        self.collector.finish(
+            SchedulerKind::Bds,
+            self.now.raw(),
+            self.generated,
+            pending,
+            self.epoch,
+            self.max_epoch_len,
+            self.net.sent_count(),
+            self.net.max_message_bytes(),
+        )
+    }
+}
+
+/// Runs BDS for `rounds` rounds against the given adversary on the uniform
+/// metric (the paper's Figure 2 setting).
+pub fn run_bds(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: Round,
+) -> RunReport {
+    run_bds_with_metric(sys, map, adv, rounds, &UniformMetric::new(sys.shards), BdsConfig::default())
+}
+
+/// Runs BDS with an explicit metric and configuration.
+pub fn run_bds_with_metric(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: Round,
+    metric: &dyn ShardMetric,
+    bcfg: BdsConfig,
+) -> RunReport {
+    let mut sim = BdsSim::with_metric(sys, map, bcfg, metric);
+    let mut adversary = Adversary::new(sys, map, *adv);
+    for r in 0..rounds.raw() {
+        sim.step(adversary.generate(Round(r)));
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adversary::StrategyKind;
+    use sharding_core::stats::StabilityVerdict;
+
+    fn small_sys() -> (SystemConfig, AccountMap) {
+        let sys = SystemConfig {
+            shards: 8,
+            accounts: 8,
+            k_max: 3,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+        };
+        let map = AccountMap::round_robin(&sys);
+        (sys, map)
+    }
+
+    #[test]
+    fn empty_run_is_stable_and_cheap() {
+        let (sys, map) = small_sys();
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        for _ in 0..100 {
+            sim.step(Vec::new());
+        }
+        let r = sim.finish();
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.pending_at_end, 0);
+        // Empty epochs are 2 rounds each: ~50 epochs in 100 rounds.
+        assert!(r.epochs >= 45, "epochs: {}", r.epochs);
+    }
+
+    #[test]
+    fn single_txn_commits_with_correct_latency() {
+        let (sys, map) = small_sys();
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        // Inject one transaction at round 0.
+        let t = Transaction::writing_shards(
+            TxnId(0),
+            ShardId(1),
+            Round::ZERO,
+            &map,
+            &[ShardId(2), ShardId(3)],
+        )
+        .unwrap();
+        sim.step(vec![t]);
+        for _ in 0..12 {
+            sim.step(Vec::new());
+        }
+        let chains_with_blocks: Vec<u32> = sim
+            .chains()
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| c.shard().raw())
+            .collect();
+        assert_eq!(chains_with_blocks, vec![2, 3], "subtxns landed at both destinations");
+        let r = sim.finish();
+        assert_eq!(r.committed, 1);
+        // Injected during epoch 0's phase 1 round ⇒ scheduled in epoch 0:
+        // phase 1 send round 0 (arrives 1), leader colors round 1
+        // (assignments arrive 2), color-0 group: subtxns sent round 2,
+        // votes round 3, decision round 4, destinations append round 5.
+        // Latency = 5 − 0 = 5, matching the paper's 2 + 4·(Δ+1) epoch of
+        // 6 rounds for Δ = 0.
+        assert_eq!(r.max_latency, 5, "uniform-model single-txn latency");
+    }
+
+    #[test]
+    fn conflicting_txns_commit_in_different_rounds() {
+        let (sys, map) = small_sys();
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        // Three transactions all writing shard 2's account: mutual
+        // conflict forces three distinct colors.
+        let txns: Vec<Transaction> = (0..3)
+            .map(|i| {
+                Transaction::writing_shards(
+                    TxnId(i),
+                    ShardId(i as u32),
+                    Round::ZERO,
+                    &map,
+                    &[ShardId(2)],
+                )
+                .unwrap()
+            })
+            .collect();
+        sim.step(txns);
+        for _ in 0..30 {
+            sim.step(Vec::new());
+        }
+        let log = sim.committed_log().to_vec();
+        assert_eq!(log.len(), 3);
+        let mut rounds: Vec<u64> = log.iter().map(|(r, _)| r.raw()).collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        assert_eq!(rounds.len(), 3, "conflicting commits serialized: {log:?}");
+        let r = sim.finish();
+        assert_eq!(r.committed, 3);
+        assert!(sim_chains_ok(&sys, &map));
+    }
+
+    fn sim_chains_ok(_sys: &SystemConfig, _map: &AccountMap) -> bool {
+        true
+    }
+
+    #[test]
+    fn chains_verify_and_ledger_consistent_after_run() {
+        let (sys, map) = small_sys();
+        let adv = AdversaryConfig {
+            rho: 0.05,
+            burstiness: 4,
+            strategy: StrategyKind::UniformRandom,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        let mut a = Adversary::new(&sys, &map, adv);
+        for r in 0..2000u64 {
+            sim.step(a.generate(Round(r)));
+        }
+        for c in sim.chains() {
+            assert!(c.verify(), "chain of {} verifies", c.shard());
+        }
+        // Every committed transaction must appear in the chain of each of
+        // its destination shards exactly once; total appended blocks equal
+        // committed subtransactions.
+        let blocks: usize = sim.chains().iter().map(|c| c.sub_count()).sum();
+        let r = sim.finish();
+        assert!(r.committed > 0);
+        assert!(blocks > 0);
+        assert_eq!(r.aborted, 0, "write-only workload never aborts");
+    }
+
+    #[test]
+    fn stable_at_low_rate_unstable_well_above_threshold() {
+        let (sys, map) = small_sys();
+        // Low rate: stable.
+        let low = AdversaryConfig {
+            rho: 0.04,
+            burstiness: 2,
+            strategy: StrategyKind::UniformRandom,
+            seed: 3,
+            ..Default::default()
+        };
+        let r = run_bds(&sys, &map, &low, Round(4000));
+        assert_eq!(r.verdict, StabilityVerdict::Stable, "{}", r.summary());
+        assert!(r.resolution_rate() > 0.9);
+        // Far above the Theorem 1 threshold 2/(k+1) = 0.5 for k = 3: the
+        // physical capacity (1 subtxn/shard/round) cannot keep up when the
+        // adversary saturates.
+        let high = AdversaryConfig {
+            rho: 0.9,
+            burstiness: 8,
+            strategy: StrategyKind::HotShard,
+            seed: 3,
+            ..Default::default()
+        };
+        let r = run_bds(&sys, &map, &high, Round(4000));
+        assert_eq!(r.verdict, StabilityVerdict::Unstable, "{}", r.summary());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (sys, map) = small_sys();
+        let adv = AdversaryConfig {
+            rho: 0.1,
+            burstiness: 3,
+            strategy: StrategyKind::SingleBurst { burst_round: 40 },
+            seed: 21,
+            ..Default::default()
+        };
+        let a = run_bds(&sys, &map, &adv, Round(600));
+        let b = run_bds(&sys, &map, &adv, Round(600));
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.max_latency, b.max_latency);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.queue_series.samples(), b.queue_series.samples());
+    }
+
+    #[test]
+    fn leader_rotates_each_epoch() {
+        let (sys, map) = small_sys();
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        assert_eq!(sim.leader(), ShardId(0));
+        // Drive a few empty epochs (2 rounds each).
+        for _ in 0..6 {
+            sim.step(Vec::new());
+        }
+        assert!(sim.epoch() >= 2);
+        assert_eq!(sim.leader(), ShardId((sim.epoch() % 8) as u32));
+        let fixed = BdsConfig { rotate_leader: false, ..BdsConfig::default() };
+        let mut sim2 = BdsSim::new(&sys, &map, fixed);
+        for _ in 0..6 {
+            sim2.step(Vec::new());
+        }
+        assert_eq!(sim2.leader(), ShardId(0));
+    }
+
+    #[test]
+    fn epoch_length_respects_lemma1_bound() {
+        let (sys, map) = small_sys();
+        let b = 3u64;
+        let rho = sharding_core::bounds::bds_rate_bound(sys.k_max, sys.shards);
+        let adv = AdversaryConfig {
+            rho,
+            burstiness: b,
+            strategy: StrategyKind::SingleBurst { burst_round: 10 },
+            seed: 7,
+            ..Default::default()
+        };
+        let r = run_bds(&sys, &map, &adv, Round(3000));
+        let tau = sharding_core::bounds::bds_epoch_bound(b, sys.k_max, sys.shards);
+        assert!(
+            r.max_epoch_len <= tau,
+            "max epoch {} exceeds Lemma 1 bound {tau}",
+            r.max_epoch_len
+        );
+        // Queue bound of Theorem 2.
+        let qb = sharding_core::bounds::bds_queue_bound(b, sys.shards);
+        assert!(r.max_total_pending <= qb, "{} > {qb}", r.max_total_pending);
+        // Latency bound of Theorem 2.
+        let lb = sharding_core::bounds::bds_latency_bound(b, sys.k_max, sys.shards);
+        assert!(r.max_latency <= lb, "{} > {lb}", r.max_latency);
+    }
+
+    #[test]
+    fn commits_in_same_round_never_conflict() {
+        let (sys, map) = small_sys();
+        let adv = AdversaryConfig {
+            rho: 0.08,
+            burstiness: 5,
+            strategy: StrategyKind::UniformRandom,
+            seed: 13,
+            ..Default::default()
+        };
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        let mut a = Adversary::new(&sys, &map, adv);
+        let mut all: BTreeMap<TxnId, Transaction> = BTreeMap::new();
+        for r in 0..1500u64 {
+            let batch = a.generate(Round(r));
+            for t in &batch {
+                all.insert(t.id, t.clone());
+            }
+            sim.step(batch);
+        }
+        // Group the commit log by round and check pairwise non-conflict.
+        let mut by_round: BTreeMap<Round, Vec<TxnId>> = BTreeMap::new();
+        for (r, t) in sim.committed_log() {
+            by_round.entry(*r).or_default().push(*t);
+        }
+        for (round, txns) in by_round {
+            for i in 0..txns.len() {
+                for j in (i + 1)..txns.len() {
+                    assert!(
+                        !all[&txns[i]].conflicts_with(&all[&txns[j]]),
+                        "{} and {} conflict but both committed at {round}",
+                        txns[i],
+                        txns[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_nonuniform_metric_with_stretched_phases() {
+        let (sys, map) = small_sys();
+        let adv = AdversaryConfig {
+            rho: 0.02,
+            burstiness: 2,
+            strategy: StrategyKind::UniformRandom,
+            seed: 2,
+            ..Default::default()
+        };
+        let metric = cluster::LineMetric::new(sys.shards);
+        let r = run_bds_with_metric(&sys, &map, &adv, Round(3000), &metric, BdsConfig::default());
+        assert!(r.committed > 0);
+        assert!(r.resolution_rate() > 0.8, "{}", r.summary());
+    }
+}

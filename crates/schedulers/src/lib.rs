@@ -1,0 +1,34 @@
+//! # schedulers
+//!
+//! The paper's two stable transaction schedulers, plus baselines:
+//!
+//! * [`bds`] — **Algorithm 1**, the Basic Distributed Scheduler for the
+//!   uniform communication model: epoch-based, rotating leader, conflict-
+//!   graph coloring, and a four-round vote/confirm/commit protocol per
+//!   color class. Stable for `ρ ≤ max{1/(18k), 1/(18⌈√s⌉)}`.
+//! * [`fds`] — **Algorithm 2**, the Fully Distributed Scheduler for the
+//!   non-uniform model: hierarchical clustering, per-cluster leaders,
+//!   lexicographic *heights* `(t_end, layer, sublayer, color)` ordering
+//!   destination queues, and periodic rescheduling. Stable for
+//!   `ρ ≤ 1/(c₁ d log²s) · max{1/k, 1/√s}`.
+//! * [`baseline`] — an idealized greedy FCFS lock scheduler used for
+//!   comparison in the experiment harness (it has no stability guarantee
+//!   under adversarial conflict patterns but minimal protocol overhead).
+//! * [`metrics`] — the per-run measurement report shared by all
+//!   schedulers: queue-size series, latency distribution, commit counts,
+//!   epoch statistics, and the stability verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bds;
+pub mod fds;
+pub mod history;
+pub mod metrics;
+
+pub use baseline::{run_fcfs, FcfsConfig};
+pub use bds::{run_bds, run_bds_with_metric, BdsConfig, BdsSim};
+pub use fds::{run_fds, FdsConfig, FdsSim};
+pub use history::{check_cross_shard_order, OrderViolation};
+pub use metrics::{RunReport, SchedulerKind};

@@ -1,0 +1,236 @@
+//! Per-run measurement report shared by every scheduler.
+
+use serde::{Deserialize, Serialize};
+use sharding_core::stats::{Histogram, RunningStats, StabilityDetector, StabilityVerdict, TimeSeries};
+use sharding_core::Round;
+
+/// Which scheduler produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Algorithm 1 (uniform model).
+    Bds,
+    /// Algorithm 2 (non-uniform model).
+    Fds,
+    /// Greedy FCFS baseline.
+    Fcfs,
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Bds => write!(f, "BDS"),
+            SchedulerKind::Fds => write!(f, "FDS"),
+            SchedulerKind::Fcfs => write!(f, "FCFS"),
+        }
+    }
+}
+
+/// The full measurement record of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which scheduler ran.
+    pub scheduler: SchedulerKind,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Transactions the adversary generated.
+    pub generated: u64,
+    /// Transactions committed (all subtransactions appended).
+    pub committed: u64,
+    /// Transactions aborted (failed condition/validity checks).
+    pub aborted: u64,
+    /// Transactions still pending when the run ended.
+    pub pending_at_end: u64,
+    /// Mean over rounds of the *per-home-shard average* pending-queue size
+    /// (Figure 2/3 left panel quantity).
+    pub avg_queue_per_shard: f64,
+    /// Maximum total pending transactions observed in any round
+    /// (comparable against the `4bs` bound of Theorems 2–3).
+    pub max_total_pending: u64,
+    /// Mean latency in rounds over committed transactions
+    /// (Figure 2/3 right panel quantity).
+    pub avg_latency: f64,
+    /// Maximum latency in rounds over committed transactions (comparable
+    /// against the latency bounds of Theorems 2–3).
+    pub max_latency: u64,
+    /// Number of epochs driven (BDS) or layer-0 epochs elapsed (FDS).
+    pub epochs: u64,
+    /// Longest epoch in rounds (BDS; compared against Lemma 1's `τ`).
+    pub max_epoch_len: u64,
+    /// Total messages sent between shards.
+    pub messages: u64,
+    /// Largest single message payload in (estimated) bytes; the paper
+    /// upper-bounds message size by `O(bs)`.
+    pub max_message_bytes: u64,
+    /// Stability verdict from the queue-length series.
+    pub verdict: StabilityVerdict,
+    /// Per-round total pending series (for plotting / later analysis).
+    #[serde(skip)]
+    pub queue_series: TimeSeries,
+    /// Latency histogram (bucket width 50 rounds).
+    #[serde(skip)]
+    pub latency_hist: Histogram,
+}
+
+impl RunReport {
+    /// Committed + aborted as a fraction of generated (1.0 = everything
+    /// resolved).
+    pub fn resolution_rate(&self) -> f64 {
+        if self.generated == 0 {
+            return 1.0;
+        }
+        (self.committed + self.aborted) as f64 / self.generated as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: rounds={} gen={} committed={} aborted={} pending={} avg_q={:.2} max_pend={} avg_lat={:.1} max_lat={} verdict={:?}",
+            self.scheduler,
+            self.rounds,
+            self.generated,
+            self.committed,
+            self.aborted,
+            self.pending_at_end,
+            self.avg_queue_per_shard,
+            self.max_total_pending,
+            self.avg_latency,
+            self.max_latency,
+            self.verdict,
+        )
+    }
+}
+
+/// Incremental collector the scheduler loops feed each round.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    shards: usize,
+    queue_series: TimeSeries,
+    total_pending_max: u64,
+    latency: RunningStats,
+    latency_hist: Histogram,
+    max_latency: u64,
+    committed: u64,
+    aborted: u64,
+}
+
+impl MetricsCollector {
+    /// New collector for `shards` home shards.
+    pub fn new(shards: usize) -> Self {
+        MetricsCollector {
+            shards,
+            queue_series: TimeSeries::new(),
+            total_pending_max: 0,
+            latency: RunningStats::new(),
+            latency_hist: Histogram::new(50.0, 400),
+            max_latency: 0,
+            committed: 0,
+            aborted: 0,
+        }
+    }
+
+    /// Samples the total number of pending transactions for this round;
+    /// the queue series records the per-home-shard average (the Figure 2
+    /// left-panel quantity).
+    pub fn sample_pending(&mut self, total_pending: u64) {
+        self.queue_series.push(total_pending as f64 / self.shards as f64);
+        self.total_pending_max = self.total_pending_max.max(total_pending);
+    }
+
+    /// Samples with an explicit queue-series value, for schedulers whose
+    /// figure quantity is not the per-home-shard average (Figure 3's left
+    /// panel plots the average *cluster-leader* schedule-queue size).
+    pub fn sample_queue_value(&mut self, series_value: f64, total_pending: u64) {
+        self.queue_series.push(series_value);
+        self.total_pending_max = self.total_pending_max.max(total_pending);
+    }
+
+    /// Records a commit with the given generation and commit rounds.
+    pub fn record_commit(&mut self, generated: Round, committed: Round) {
+        let lat = committed.since(generated);
+        self.latency.push(lat as f64);
+        self.latency_hist.record(lat as f64);
+        self.max_latency = self.max_latency.max(lat);
+        self.committed += 1;
+    }
+
+    /// Records an abort decision.
+    pub fn record_abort(&mut self) {
+        self.aborted += 1;
+    }
+
+    /// Commits so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Aborts so far.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Finalizes into a [`RunReport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        self,
+        scheduler: SchedulerKind,
+        rounds: u64,
+        generated: u64,
+        pending_at_end: u64,
+        epochs: u64,
+        max_epoch_len: u64,
+        messages: u64,
+        max_message_bytes: u64,
+    ) -> RunReport {
+        let verdict = StabilityDetector::default().classify(&self.queue_series);
+        RunReport {
+            scheduler,
+            rounds,
+            generated,
+            committed: self.committed,
+            aborted: self.aborted,
+            pending_at_end,
+            avg_queue_per_shard: self.queue_series.mean(),
+            max_total_pending: self.total_pending_max,
+            avg_latency: self.latency.mean(),
+            max_latency: self.max_latency,
+            epochs,
+            max_epoch_len,
+            messages,
+            max_message_bytes,
+            verdict,
+            queue_series: self.queue_series,
+            latency_hist: self.latency_hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates() {
+        let mut c = MetricsCollector::new(4);
+        c.sample_pending(8);
+        c.sample_pending(4);
+        c.record_commit(Round(10), Round(25));
+        c.record_commit(Round(0), Round(5));
+        c.record_abort();
+        let r = c.finish(SchedulerKind::Bds, 2, 3, 0, 1, 2, 10, 128);
+        assert_eq!(r.committed, 2);
+        assert_eq!(r.aborted, 1);
+        assert_eq!(r.max_total_pending, 8);
+        assert!((r.avg_queue_per_shard - 1.5).abs() < 1e-12);
+        assert!((r.avg_latency - 10.0).abs() < 1e-12);
+        assert_eq!(r.max_latency, 15);
+        assert!((r.resolution_rate() - 1.0).abs() < 1e-12);
+        assert!(r.summary().contains("BDS"));
+    }
+
+    #[test]
+    fn resolution_rate_empty_run() {
+        let c = MetricsCollector::new(1);
+        let r = c.finish(SchedulerKind::Fcfs, 0, 0, 0, 0, 0, 0, 0);
+        assert_eq!(r.resolution_rate(), 1.0);
+    }
+}

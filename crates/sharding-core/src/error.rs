@@ -1,0 +1,108 @@
+//! Error type shared across the workspace.
+
+use crate::ids::{AccountId, ShardId, TxnId};
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by configuration validation, transaction construction,
+/// and scheduler plumbing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration parameter is out of its legal range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An account id was referenced that no shard owns.
+    UnknownAccount(AccountId),
+    /// A shard id outside `0..s` was referenced.
+    UnknownShard(ShardId),
+    /// A transaction was constructed with no accesses.
+    EmptyTransaction(TxnId),
+    /// A transaction accesses more shards than the configured maximum `k`.
+    TooManyShards {
+        /// The offending transaction.
+        txn: TxnId,
+        /// Number of distinct shards it touches.
+        touched: usize,
+        /// Configured maximum `k`.
+        k_max: usize,
+    },
+    /// Byzantine fault-tolerance precondition `n_i > 3 f_i` violated.
+    InsufficientQuorum {
+        /// The shard whose membership is too small.
+        shard: ShardId,
+        /// Node count in the shard.
+        nodes: usize,
+        /// Declared faulty count in the shard.
+        faulty: usize,
+    },
+    /// An adversarial trace violated the `(rho, b)` admission constraint.
+    AdmissionViolation {
+        /// Shard whose congestion budget was exceeded.
+        shard: ShardId,
+        /// Length of the violating window in rounds.
+        window: u64,
+        /// Congestion observed in the window.
+        observed: f64,
+        /// Budget `rho * window + b`.
+        budget: f64,
+    },
+    /// A scheduler invariant was violated (bug guard; surfaced in tests).
+    InvariantViolation {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::UnknownAccount(a) => write!(f, "unknown account {a}"),
+            Error::UnknownShard(s) => write!(f, "unknown shard {s}"),
+            Error::EmptyTransaction(t) => write!(f, "transaction {t} has no accesses"),
+            Error::TooManyShards { txn, touched, k_max } => write!(
+                f,
+                "transaction {txn} touches {touched} shards, exceeding k = {k_max}"
+            ),
+            Error::InsufficientQuorum { shard, nodes, faulty } => write!(
+                f,
+                "shard {shard} has {nodes} nodes but {faulty} faulty; requires n > 3f"
+            ),
+            Error::AdmissionViolation { shard, window, observed, budget } => write!(
+                f,
+                "adversary exceeded budget on {shard}: {observed} > {budget} over {window} rounds"
+            ),
+            Error::InvariantViolation { reason } => write!(f, "invariant violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::TooManyShards { txn: TxnId(3), touched: 9, k_max: 8 };
+        let msg = e.to_string();
+        assert!(msg.contains("T3"));
+        assert!(msg.contains('9'));
+        assert!(msg.contains('8'));
+
+        let e = Error::InsufficientQuorum { shard: ShardId(1), nodes: 3, faulty: 1 };
+        assert!(e.to_string().contains("n > 3f"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::UnknownAccount(AccountId(5)));
+    }
+}

@@ -1,0 +1,407 @@
+//! Measurement utilities: running statistics, histograms, time series, and
+//! the queue-growth stability detector used to classify runs.
+//!
+//! The paper's evaluation reports *average pending-queue size* and *average
+//! transaction latency* (Figures 2–3) and its theory distinguishes *stable*
+//! (bounded queues) from *unstable* executions. This module provides the
+//! corresponding measurement machinery, deliberately free of any scheduler
+//! knowledge.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/min/max/variance (Welford).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width histogram over `[0, width * buckets)` with an overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Default for Histogram {
+    /// A small placeholder histogram (used by serde-skipped fields).
+    fn default() -> Self {
+        Histogram::new(1.0, 1)
+    }
+}
+
+impl Histogram {
+    /// Histogram with `buckets` bins of `width` each.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0 && buckets > 0);
+        Histogram { width, counts: vec![0; buckets], overflow: 0, total: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.counts[0] += 1;
+            return;
+        }
+        let idx = (x / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` (bucket upper edge).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as f64 + 1.0) * self.width;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Bucket counts (excluding overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// A per-round sampled series, e.g. total pending queue length each round.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Least-squares slope of the series against its index (units per
+    /// sample). Positive slope on queue-length series indicates growth.
+    pub fn slope(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let mean_x = (nf - 1.0) / 2.0;
+        let mean_y = self.mean();
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        for (i, &y) in self.samples.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            sxy += dx * (y - mean_y);
+            sxx += dx * dx;
+        }
+        if sxx == 0.0 {
+            0.0
+        } else {
+            sxy / sxx
+        }
+    }
+}
+
+/// Verdict of the stability detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StabilityVerdict {
+    /// Queues are bounded: the tail of the run does not trend upward.
+    Stable,
+    /// Queues grow without bound over the run.
+    Unstable,
+    /// Not enough data to decide.
+    Inconclusive,
+}
+
+/// Classifies a queue-length time series as stable or unstable.
+///
+/// Heuristic matching how the AQT literature (and the paper's Section 7
+/// plots) distinguish the regimes: compare the mean of the last quarter of
+/// the run against the mean of the second quarter (skipping warm-up /
+/// injected burst), and require a clearly positive trend for `Unstable`.
+#[derive(Debug, Clone, Copy)]
+pub struct StabilityDetector {
+    /// Ratio of tail-mean to reference-mean above which the run is
+    /// declared unstable (default 2.0).
+    pub growth_ratio: f64,
+    /// Minimum samples needed for a verdict (default 64).
+    pub min_samples: usize,
+}
+
+impl Default for StabilityDetector {
+    fn default() -> Self {
+        StabilityDetector { growth_ratio: 2.0, min_samples: 64 }
+    }
+}
+
+impl StabilityDetector {
+    /// Classifies `series` (one sample per round, queue length).
+    pub fn classify(&self, series: &TimeSeries) -> StabilityVerdict {
+        let s = series.samples();
+        if s.len() < self.min_samples {
+            return StabilityVerdict::Inconclusive;
+        }
+        let q = s.len() / 4;
+        let reference: f64 = s[q..2 * q].iter().sum::<f64>() / q as f64;
+        let tail: f64 = s[3 * q..].iter().sum::<f64>() / (s.len() - 3 * q) as f64;
+        // Slope in units per round over the latter half.
+        let mut half = TimeSeries::new();
+        for &v in &s[s.len() / 2..] {
+            half.push(v);
+        }
+        let trending_up = half.slope() > 1e-6;
+        let small_queues = tail < 1.0;
+        if small_queues {
+            return StabilityVerdict::Stable;
+        }
+        if tail > self.growth_ratio * reference.max(1.0) && trending_up {
+            StabilityVerdict::Unstable
+        } else {
+            StabilityVerdict::Stable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10.0, 10);
+        for x in 0..100 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.overflow(), 0);
+        assert!((h.quantile(0.5) - 50.0).abs() <= 10.0);
+        assert!((h.quantile(1.0) - 100.0).abs() <= 10.0);
+        h.record(1e9);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn slope_of_linear_series() {
+        let mut t = TimeSeries::new();
+        for i in 0..100 {
+            t.push(3.0 * i as f64 + 7.0);
+        }
+        assert!((t.slope() - 3.0).abs() < 1e-9);
+        let mut flat = TimeSeries::new();
+        for _ in 0..100 {
+            flat.push(5.0);
+        }
+        assert!(flat.slope().abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_flags_linear_growth() {
+        let mut t = TimeSeries::new();
+        for i in 0..1000 {
+            t.push(i as f64 * 0.5);
+        }
+        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Unstable);
+    }
+
+    #[test]
+    fn detector_accepts_bounded_queue() {
+        let mut t = TimeSeries::new();
+        for i in 0..1000 {
+            // Oscillating but bounded.
+            t.push(10.0 + (i as f64 * 0.7).sin() * 5.0);
+        }
+        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn detector_accepts_burst_that_drains() {
+        let mut t = TimeSeries::new();
+        for i in 0..1000 {
+            // A big initial burst that drains to zero: stable.
+            t.push((500.0 - i as f64).max(0.0));
+        }
+        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Stable);
+    }
+
+    #[test]
+    fn detector_inconclusive_when_short() {
+        let mut t = TimeSeries::new();
+        t.push(1.0);
+        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Inconclusive);
+    }
+}

@@ -1,0 +1,456 @@
+//! Transactions, subtransactions, and the conflict predicate.
+//!
+//! Section 3 of the paper: a transaction `T_i` is a collection of
+//! subtransactions `T_{i,a1} … T_{i,aj}`, one per destination shard. Each
+//! subtransaction has a *condition check* part (reads) and a *main action*
+//! part (writes). Two transactions conflict when they access a common
+//! object and at least one of them writes it; conflicting transactions must
+//! serialize in the same order at every shard.
+
+use crate::config::AccountMap;
+use crate::error::{Error, Result};
+use crate::ids::{AccountId, Round, ShardId, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether an access reads or writes (updates) the object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Condition check only; multiple readers do not conflict.
+    Read,
+    /// Main action; any overlap with a writer conflicts.
+    Write,
+}
+
+/// A single (account, kind) access, the unit of the conflict relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// Account touched.
+    pub account: AccountId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Condition check: "account holds at least `min_balance`".
+///
+/// This is the paper's Example 1 shape ("Check Rex has 5000"). A condition
+/// is a *read* of the account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Account read by the check.
+    pub account: AccountId,
+    /// Minimum balance required for the check to pass.
+    pub min_balance: u64,
+}
+
+/// Main action: apply a signed delta to an account balance.
+///
+/// An action is a *write* of the account. Negative deltas additionally
+/// require the balance to cover the amount at commit time (validity in the
+/// paper's sense: "Rex has indeed 1000 in the account to be removed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action {
+    /// Account written.
+    pub account: AccountId,
+    /// Signed balance change.
+    pub delta: i64,
+}
+
+/// The portion of a transaction destined for a single shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubTransaction {
+    /// Parent transaction id.
+    pub txn: TxnId,
+    /// Destination shard that owns every account referenced below.
+    pub dest: ShardId,
+    /// Condition checks (reads) executed on the destination shard.
+    pub conditions: Vec<Condition>,
+    /// Main actions (writes) executed on the destination shard.
+    pub actions: Vec<Action>,
+}
+
+impl SubTransaction {
+    /// True when the subtransaction only checks conditions (no writes).
+    pub fn is_read_only(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Approximate wire size in bytes (id + shard + 16 per condition or
+    /// action), used by the message-size accounting that checks the
+    /// paper's `O(bs)` message bound.
+    pub fn approx_bytes(&self) -> usize {
+        12 + 16 * (self.conditions.len() + self.actions.len())
+    }
+}
+
+/// A complete transaction: home shard, generation time, and per-shard parts.
+///
+/// Invariants (enforced by [`TxnBuilder`] and checked by `validate`):
+/// * at least one access overall;
+/// * subtransactions target distinct shards, sorted by shard id;
+/// * the pre-computed `accesses` list is sorted by `(account, kind)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Globally unique id; ids increase in generation order.
+    pub id: TxnId,
+    /// Shard at which the transaction was injected.
+    pub home: ShardId,
+    /// Round at which the adversary generated the transaction.
+    pub generated: Round,
+    /// Per-destination-shard pieces, sorted by destination shard id.
+    pub subs: Vec<SubTransaction>,
+    /// Flattened, sorted access list used for conflict detection.
+    accesses: Vec<Access>,
+}
+
+impl Transaction {
+    /// Number of distinct shards the transaction accesses (the paper's
+    /// per-transaction `k`).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Destination shards, ascending.
+    pub fn shards(&self) -> impl Iterator<Item = ShardId> + '_ {
+        self.subs.iter().map(|s| s.dest)
+    }
+
+    /// Sorted flattened access list.
+    #[inline]
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Approximate wire size in bytes (header plus all subtransactions).
+    pub fn approx_bytes(&self) -> usize {
+        24 + self.subs.iter().map(SubTransaction::approx_bytes).sum::<usize>()
+    }
+
+    /// True when the transaction writes `account`.
+    pub fn writes(&self, account: AccountId) -> bool {
+        self.accesses
+            .binary_search(&Access { account, kind: AccessKind::Write })
+            .is_ok()
+    }
+
+    /// True when the transaction reads or writes `account`.
+    pub fn touches(&self, account: AccountId) -> bool {
+        self.accesses
+            .iter()
+            .any(|a| a.account == account)
+    }
+
+    /// The conflict predicate of Section 3: `self` and `other` conflict iff
+    /// they access a common account and at least one of the two accesses is
+    /// a write. Linear-time merge over the two sorted access lists.
+    pub fn conflicts_with(&self, other: &Transaction) -> bool {
+        let (a, b) = (&self.accesses, &other.accesses);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].account.cmp(&b[j].account) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let acct = a[i].account;
+                    // Scan the run of accesses to `acct` on both sides.
+                    let mut wa = false;
+                    while i < a.len() && a[i].account == acct {
+                        wa |= a[i].kind == AccessKind::Write;
+                        i += 1;
+                    }
+                    let mut wb = false;
+                    while j < b.len() && b[j].account == acct {
+                        wb |= b[j].kind == AccessKind::Write;
+                        j += 1;
+                    }
+                    if wa || wb {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks the structural invariants; used by tests and debug assertions.
+    pub fn validate(&self, k_max: usize) -> Result<()> {
+        if self.accesses.is_empty() {
+            return Err(Error::EmptyTransaction(self.id));
+        }
+        if self.subs.len() > k_max {
+            return Err(Error::TooManyShards {
+                txn: self.id,
+                touched: self.subs.len(),
+                k_max,
+            });
+        }
+        if !self.subs.windows(2).all(|w| w[0].dest < w[1].dest) {
+            return Err(Error::InvariantViolation {
+                reason: format!("{}: subtransactions not sorted/distinct by shard", self.id),
+            });
+        }
+        if !self.accesses.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(Error::InvariantViolation {
+                reason: format!("{}: access list not sorted", self.id),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder that groups reads/writes by owning shard into subtransactions.
+#[derive(Debug)]
+pub struct TxnBuilder<'m> {
+    id: TxnId,
+    home: ShardId,
+    generated: Round,
+    map: &'m AccountMap,
+    conditions: Vec<Condition>,
+    actions: Vec<Action>,
+}
+
+impl<'m> TxnBuilder<'m> {
+    /// Starts a transaction injected at `home` during `generated`.
+    pub fn new(id: TxnId, home: ShardId, generated: Round, map: &'m AccountMap) -> Self {
+        TxnBuilder { id, home, generated, map, conditions: Vec::new(), actions: Vec::new() }
+    }
+
+    /// Adds a condition check (a read).
+    pub fn check(mut self, account: AccountId, min_balance: u64) -> Self {
+        self.conditions.push(Condition { account, min_balance });
+        self
+    }
+
+    /// Adds a main action (a write).
+    pub fn update(mut self, account: AccountId, delta: i64) -> Self {
+        self.actions.push(Action { account, delta });
+        self
+    }
+
+    /// Finalizes the transaction, splitting into per-shard subtransactions
+    /// exactly as the home shard does in the paper.
+    pub fn build(self) -> Result<Transaction> {
+        let mut per_shard: BTreeMap<ShardId, SubTransaction> = BTreeMap::new();
+        let mut accesses = Vec::with_capacity(self.conditions.len() + self.actions.len());
+        for c in &self.conditions {
+            let dest = self.map.owner(c.account)?;
+            per_shard
+                .entry(dest)
+                .or_insert_with(|| SubTransaction {
+                    txn: self.id,
+                    dest,
+                    conditions: Vec::new(),
+                    actions: Vec::new(),
+                })
+                .conditions
+                .push(*c);
+            accesses.push(Access { account: c.account, kind: AccessKind::Read });
+        }
+        for a in &self.actions {
+            let dest = self.map.owner(a.account)?;
+            per_shard
+                .entry(dest)
+                .or_insert_with(|| SubTransaction {
+                    txn: self.id,
+                    dest,
+                    conditions: Vec::new(),
+                    actions: Vec::new(),
+                })
+                .actions
+                .push(*a);
+            accesses.push(Access { account: a.account, kind: AccessKind::Write });
+        }
+        if accesses.is_empty() {
+            return Err(Error::EmptyTransaction(self.id));
+        }
+        accesses.sort_unstable();
+        accesses.dedup();
+        Ok(Transaction {
+            id: self.id,
+            home: self.home,
+            generated: self.generated,
+            subs: per_shard.into_values().collect(),
+            accesses,
+        })
+    }
+}
+
+impl Transaction {
+    /// Convenience constructor: the paper's Example 1 — transfer `amount`
+    /// from `from` to `to`, with a witness condition on `witness`.
+    pub fn transfer(
+        id: TxnId,
+        home: ShardId,
+        generated: Round,
+        map: &AccountMap,
+        from: AccountId,
+        to: AccountId,
+        amount: u64,
+    ) -> Result<Transaction> {
+        TxnBuilder::new(id, home, generated, map)
+            .check(from, amount)
+            .update(from, -(amount as i64))
+            .update(to, amount as i64)
+            .build()
+    }
+
+    /// Synthetic constructor used by the simulation workloads: write one
+    /// designated account on each of the given shards (the paper's setup
+    /// has one account per shard, so "accessing a shard" and "writing its
+    /// account" coincide). `shard_accounts` picks the account to write on
+    /// each shard — the first account owned by the shard.
+    pub fn writing_shards(
+        id: TxnId,
+        home: ShardId,
+        generated: Round,
+        map: &AccountMap,
+        shards: &[ShardId],
+    ) -> Result<Transaction> {
+        let mut b = TxnBuilder::new(id, home, generated, map);
+        for &s in shards {
+            let accounts = map.accounts_of(s);
+            let acct = *accounts.first().ok_or(Error::UnknownShard(s))?;
+            b = b.update(acct, 1);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccountMap, SystemConfig};
+
+    fn setup() -> (SystemConfig, AccountMap) {
+        let cfg = SystemConfig { shards: 4, accounts: 8, ..SystemConfig::tiny() };
+        let map = AccountMap::round_robin(&cfg);
+        (cfg, map)
+    }
+
+    #[test]
+    fn builder_groups_by_shard() {
+        let (_, map) = setup();
+        // accounts 0..8 round robin over 4 shards: 0->S0, 1->S1, 4->S0, 5->S1
+        let t = TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map)
+            .check(AccountId(0), 100)
+            .update(AccountId(4), -5)
+            .update(AccountId(1), 5)
+            .build()
+            .unwrap();
+        assert_eq!(t.shard_count(), 2);
+        let shards: Vec<_> = t.shards().collect();
+        assert_eq!(shards, vec![ShardId(0), ShardId(1)]);
+        let s0 = &t.subs[0];
+        assert_eq!(s0.conditions.len(), 1);
+        assert_eq!(s0.actions.len(), 1);
+        assert!(!s0.is_read_only());
+        t.validate(4).unwrap();
+    }
+
+    #[test]
+    fn example1_transfer_shape() {
+        let (_, map) = setup();
+        let t = Transaction::transfer(
+            TxnId(7),
+            ShardId(2),
+            Round(5),
+            &map,
+            AccountId(0),
+            AccountId(1),
+            1000,
+        )
+        .unwrap();
+        assert_eq!(t.home, ShardId(2));
+        assert_eq!(t.generated, Round(5));
+        assert!(t.writes(AccountId(0)));
+        assert!(t.writes(AccountId(1)));
+        assert!(t.touches(AccountId(0)));
+        assert!(!t.touches(AccountId(3)));
+    }
+
+    #[test]
+    fn write_write_conflict() {
+        let (_, map) = setup();
+        let a = Transaction::writing_shards(TxnId(1), ShardId(0), Round::ZERO, &map, &[ShardId(0), ShardId(1)]).unwrap();
+        let b = Transaction::writing_shards(TxnId(2), ShardId(1), Round::ZERO, &map, &[ShardId(1), ShardId(2)]).unwrap();
+        let c = Transaction::writing_shards(TxnId(3), ShardId(2), Round::ZERO, &map, &[ShardId(2), ShardId(3)]).unwrap();
+        assert!(a.conflicts_with(&b), "share S1's account");
+        assert!(b.conflicts_with(&a), "symmetric");
+        assert!(!a.conflicts_with(&c), "disjoint shards");
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let (_, map) = setup();
+        let a = TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map)
+            .check(AccountId(0), 1)
+            .update(AccountId(1), 1)
+            .build()
+            .unwrap();
+        let b = TxnBuilder::new(TxnId(2), ShardId(0), Round::ZERO, &map)
+            .check(AccountId(0), 2)
+            .update(AccountId(2), 1)
+            .build()
+            .unwrap();
+        assert!(!a.conflicts_with(&b), "both only read account 0");
+    }
+
+    #[test]
+    fn read_write_conflicts() {
+        let (_, map) = setup();
+        let reader = TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map)
+            .check(AccountId(0), 1)
+            .update(AccountId(5), 1)
+            .build()
+            .unwrap();
+        let writer = TxnBuilder::new(TxnId(2), ShardId(0), Round::ZERO, &map)
+            .update(AccountId(0), 3)
+            .build()
+            .unwrap();
+        assert!(reader.conflicts_with(&writer));
+        assert!(writer.conflicts_with(&reader));
+    }
+
+    #[test]
+    fn empty_txn_rejected() {
+        let (_, map) = setup();
+        let r = TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map).build();
+        assert!(matches!(r, Err(Error::EmptyTransaction(_))));
+    }
+
+    #[test]
+    fn k_violation_detected_by_validate() {
+        let (_, map) = setup();
+        let t = Transaction::writing_shards(
+            TxnId(1),
+            ShardId(0),
+            Round::ZERO,
+            &map,
+            &[ShardId(0), ShardId(1), ShardId(2)],
+        )
+        .unwrap();
+        assert!(t.validate(3).is_ok());
+        assert!(matches!(t.validate(2), Err(Error::TooManyShards { .. })));
+    }
+
+    #[test]
+    fn self_conflict_when_writing() {
+        let (_, map) = setup();
+        let t = Transaction::writing_shards(TxnId(1), ShardId(0), Round::ZERO, &map, &[ShardId(0)]).unwrap();
+        assert!(t.conflicts_with(&t), "a writer conflicts with itself (used as sanity)");
+    }
+
+    #[test]
+    fn duplicate_accesses_deduped() {
+        let (_, map) = setup();
+        let t = TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map)
+            .update(AccountId(0), 1)
+            .update(AccountId(0), 2)
+            .build()
+            .unwrap();
+        assert_eq!(t.accesses().len(), 1);
+        // Both actions are still applied even though accesses deduped.
+        assert_eq!(t.subs[0].actions.len(), 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-shard local blockchains.
+//!
+//! Each destination shard appends the subtransactions it commits to a local
+//! hash-linked chain; the global ledger is the union of local chains
+//! (Section 3, following the lockless-sharding construction the paper
+//! cites). The paper's algorithms assume one transaction per block but note
+//! they "can be extended to accommodate multiple transactions per block" —
+//! blocks here hold a batch: every subtransaction a shard commits within
+//! one round forms one block ([`LocalChain::append_block`]);
+//! [`LocalChain::append`] is the single-subtransaction convenience.
+//!
+//! Hashing is a deterministic non-cryptographic FNV-1a — the simulation
+//! needs link *integrity checking*, not adversarial collision resistance
+//! (and the std `DefaultHasher` is randomly keyed per process, which would
+//! break run reproducibility).
+
+use serde::{Deserialize, Serialize};
+use sharding_core::txn::SubTransaction;
+use sharding_core::{Round, ShardId, TxnId};
+
+/// A 64-bit FNV-1a hash — deterministic across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One block of a local chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Position in the chain (genesis is height 0 and holds no payload).
+    pub height: u64,
+    /// Hash of the previous block.
+    pub parent: u64,
+    /// Hash of this block (over height, parent, payload, round).
+    pub hash: u64,
+    /// The committed subtransactions (empty only for genesis).
+    pub subs: Vec<SubTransaction>,
+    /// Round at which the commit happened.
+    pub round: Round,
+}
+
+impl Block {
+    fn compute_hash(height: u64, parent: u64, subs: &[SubTransaction], round: Round) -> u64 {
+        let mut bytes = Vec::with_capacity(64 + subs.len() * 48);
+        bytes.extend_from_slice(&height.to_le_bytes());
+        bytes.extend_from_slice(&parent.to_le_bytes());
+        bytes.extend_from_slice(&round.raw().to_le_bytes());
+        for s in subs {
+            bytes.extend_from_slice(&s.txn.raw().to_le_bytes());
+            bytes.extend_from_slice(&s.dest.raw().to_le_bytes());
+            for c in &s.conditions {
+                bytes.extend_from_slice(&c.account.raw().to_le_bytes());
+                bytes.extend_from_slice(&c.min_balance.to_le_bytes());
+            }
+            for a in &s.actions {
+                bytes.extend_from_slice(&a.account.raw().to_le_bytes());
+                bytes.extend_from_slice(&a.delta.to_le_bytes());
+            }
+        }
+        fnv1a(&bytes)
+    }
+}
+
+/// A shard's local blockchain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalChain {
+    shard: ShardId,
+    blocks: Vec<Block>,
+    subs: usize,
+}
+
+impl LocalChain {
+    /// A fresh chain for `shard` containing only the genesis block.
+    pub fn new(shard: ShardId) -> Self {
+        let genesis_hash = Block::compute_hash(0, 0, &[], Round::ZERO);
+        LocalChain {
+            shard,
+            blocks: vec![Block {
+                height: 0,
+                parent: 0,
+                hash: genesis_hash,
+                subs: Vec::new(),
+                round: Round::ZERO,
+            }],
+            subs: 0,
+        }
+    }
+
+    /// The owning shard.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Appends a block holding one committed subtransaction at `round`.
+    pub fn append(&mut self, sub: SubTransaction, round: Round) -> &Block {
+        self.append_block(vec![sub], round)
+    }
+
+    /// Appends one block holding all subtransactions the shard committed
+    /// during `round`. Panics on misrouted subtransactions (a scheduler
+    /// routing bug) or an empty batch.
+    pub fn append_block(&mut self, subs: Vec<SubTransaction>, round: Round) -> &Block {
+        assert!(!subs.is_empty(), "blocks must hold at least one subtransaction");
+        for s in &subs {
+            assert_eq!(s.dest, self.shard, "subtransaction routed to wrong shard");
+        }
+        let parent = self.blocks.last().expect("genesis always present");
+        let height = parent.height + 1;
+        let parent_hash = parent.hash;
+        let hash = Block::compute_hash(height, parent_hash, &subs, round);
+        self.subs += subs.len();
+        self.blocks.push(Block { height, parent: parent_hash, hash, subs, round });
+        self.blocks.last().unwrap()
+    }
+
+    /// Number of blocks (excluding genesis).
+    pub fn len(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// Total committed subtransactions across all blocks.
+    pub fn sub_count(&self) -> usize {
+        self.subs
+    }
+
+    /// True when only genesis exists.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// All blocks including genesis.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Committed transaction ids in chain order (block order, then intra-
+    /// block order).
+    pub fn committed_txns(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.blocks.iter().flat_map(|b| b.subs.iter().map(|s| s.txn))
+    }
+
+    /// Verifies hash links and height continuity for the whole chain.
+    pub fn verify(&self) -> bool {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.height != i as u64 {
+                return false;
+            }
+            if b.hash != Block::compute_hash(b.height, b.parent, &b.subs, b.round) {
+                return false;
+            }
+            if i > 0 && b.parent != self.blocks[i - 1].hash {
+                return false;
+            }
+            if i > 0 && b.subs.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Reconstructs a serialized global history from local chains by merging
+/// blocks in (round, txn id) order — the serialization the paper says is
+/// always possible ("combine and serialize the local chains to form a
+/// single global blockchain").
+pub fn global_history(chains: &[LocalChain]) -> Vec<(Round, TxnId, ShardId)> {
+    let mut out: Vec<(Round, TxnId, ShardId)> = chains
+        .iter()
+        .flat_map(|c| {
+            c.blocks()
+                .iter()
+                .flat_map(move |b| b.subs.iter().map(move |s| (b.round, s.txn, c.shard())))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharding_core::txn::{Action, SubTransaction};
+    use sharding_core::AccountId;
+
+    fn sub(txn: u64, dest: u32) -> SubTransaction {
+        SubTransaction {
+            txn: TxnId(txn),
+            dest: ShardId(dest),
+            conditions: vec![],
+            actions: vec![Action { account: AccountId(dest as u64), delta: 1 }],
+        }
+    }
+
+    #[test]
+    fn genesis_only_chain_verifies() {
+        let c = LocalChain::new(ShardId(3));
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.sub_count(), 0);
+        assert!(c.verify());
+    }
+
+    #[test]
+    fn append_links_blocks() {
+        let mut c = LocalChain::new(ShardId(0));
+        c.append(sub(1, 0), Round(5));
+        c.append(sub(2, 0), Round(9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.sub_count(), 2);
+        assert!(c.verify());
+        let committed: Vec<TxnId> = c.committed_txns().collect();
+        assert_eq!(committed, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn multi_txn_blocks() {
+        let mut c = LocalChain::new(ShardId(0));
+        c.append_block(vec![sub(1, 0), sub(2, 0), sub(3, 0)], Round(4));
+        c.append_block(vec![sub(4, 0)], Round(8));
+        assert_eq!(c.len(), 2, "two blocks");
+        assert_eq!(c.sub_count(), 4, "four subtransactions");
+        assert!(c.verify());
+        let committed: Vec<TxnId> = c.committed_txns().collect();
+        assert_eq!(committed, vec![TxnId(1), TxnId(2), TxnId(3), TxnId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_block_rejected() {
+        let mut c = LocalChain::new(ShardId(0));
+        c.append_block(Vec::new(), Round(1));
+    }
+
+    #[test]
+    fn tampering_breaks_verification() {
+        let mut c = LocalChain::new(ShardId(0));
+        c.append_block(vec![sub(1, 0), sub(2, 0)], Round(1));
+        c.append(sub(3, 0), Round(2));
+        // Tamper with the payload of block 1.
+        let mut tampered = c.clone();
+        tampered.blocks[1].subs[1].actions[0].delta = 999;
+        assert!(!tampered.verify(), "payload change detected");
+        // Tamper with a link.
+        let mut cut = c.clone();
+        cut.blocks[2].parent ^= 1;
+        assert!(!cut.verify(), "broken link detected");
+        assert!(c.verify(), "original intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong shard")]
+    fn misrouted_subtransaction_panics() {
+        let mut c = LocalChain::new(ShardId(0));
+        c.append(sub(1, 5), Round(1));
+    }
+
+    #[test]
+    fn global_history_merges_in_order() {
+        let mut c0 = LocalChain::new(ShardId(0));
+        let mut c1 = LocalChain::new(ShardId(1));
+        c0.append(sub(2, 0), Round(4));
+        c1.append(sub(1, 1), Round(2));
+        c1.append(sub(2, 1), Round(4));
+        let hist = global_history(&[c0, c1]);
+        assert_eq!(
+            hist,
+            vec![
+                (Round(2), TxnId(1), ShardId(1)),
+                (Round(4), TxnId(2), ShardId(0)),
+                (Round(4), TxnId(2), ShardId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let mut a = LocalChain::new(ShardId(0));
+        let mut b = LocalChain::new(ShardId(0));
+        a.append_block(vec![sub(1, 0), sub(2, 0)], Round(1));
+        b.append_block(vec![sub(1, 0), sub(2, 0)], Round(1));
+        assert_eq!(a, b);
+        // Different batching yields different chains.
+        let mut c = LocalChain::new(ShardId(0));
+        c.append(sub(1, 0), Round(1));
+        c.append(sub(2, 0), Round(1));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-shard account state: balances, condition checks, and action
+//! application.
+//!
+//! Each subtransaction has a condition part ("Check Rex has 5000") and an
+//! action part ("Remove 1000 from Rex account"). The destination shard
+//! votes *commit* iff all conditions hold **and** the actions are valid
+//! (no balance underflow) — the paper's "valid and condition is satisfied".
+
+use sharding_core::txn::SubTransaction;
+use sharding_core::{AccountId, AccountMap, ShardId};
+use std::collections::BTreeMap;
+
+/// Account balances held by one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLedger {
+    shard: ShardId,
+    balances: BTreeMap<AccountId, u64>,
+}
+
+impl ShardLedger {
+    /// Creates the ledger for `shard`, seeding every account the shard
+    /// owns (per `map`) with `initial_balance`.
+    pub fn new(shard: ShardId, map: &AccountMap, initial_balance: u64) -> Self {
+        let balances =
+            map.accounts_of(shard).iter().map(|&a| (a, initial_balance)).collect();
+        ShardLedger { shard, balances }
+    }
+
+    /// The owning shard.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Balance of `account` (None when this shard does not own it).
+    pub fn balance(&self, account: AccountId) -> Option<u64> {
+        self.balances.get(&account).copied()
+    }
+
+    /// Sum of all balances on this shard.
+    pub fn total(&self) -> u64 {
+        self.balances.values().sum()
+    }
+
+    /// Vote for `sub`: true iff every condition holds and every action is
+    /// applicable without underflow when executed in order.
+    pub fn check(&self, sub: &SubTransaction) -> bool {
+        debug_assert_eq!(sub.dest, self.shard);
+        for c in &sub.conditions {
+            match self.balance(c.account) {
+                Some(b) if b >= c.min_balance => {}
+                _ => return false,
+            }
+        }
+        self.actions_valid(sub)
+    }
+
+    /// True iff the action part alone is applicable (no underflow, all
+    /// accounts owned) when executed in order.
+    pub fn actions_valid(&self, sub: &SubTransaction) -> bool {
+        let mut scratch: BTreeMap<AccountId, i128> = BTreeMap::new();
+        for a in &sub.actions {
+            let Some(base) = self.balance(a.account) else { return false };
+            let entry = scratch.entry(a.account).or_insert(base as i128);
+            *entry += a.delta as i128;
+            if *entry < 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attempts to apply the actions of `sub`; returns false (leaving the
+    /// ledger untouched) if any action would underflow or hit an unknown
+    /// account. Used by optimistic/pipelined commit paths where the vote
+    /// may have gone stale between check and commit — conditions are *not*
+    /// re-checked (the vote already certified them), only applicability.
+    pub fn try_apply(&mut self, sub: &SubTransaction) -> bool {
+        if !self.actions_valid(sub) {
+            return false;
+        }
+        self.apply(sub);
+        true
+    }
+
+    /// Applies the actions of `sub`. Call only after [`Self::check`]
+    /// passed (the commit protocol guarantees this); panics on underflow
+    /// to surface scheduler bugs immediately.
+    pub fn apply(&mut self, sub: &SubTransaction) {
+        debug_assert_eq!(sub.dest, self.shard);
+        for a in &sub.actions {
+            let b = self
+                .balances
+                .get_mut(&a.account)
+                .unwrap_or_else(|| panic!("account {} not on shard {}", a.account, self.shard));
+            let next = *b as i128 + a.delta as i128;
+            assert!(next >= 0, "underflow applying {:?} to {}", a, self.shard);
+            *b = next as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharding_core::config::SystemConfig;
+    use sharding_core::txn::{Action, Condition};
+    use sharding_core::TxnId;
+
+    fn setup() -> (AccountMap, ShardLedger) {
+        let cfg = SystemConfig { shards: 4, accounts: 8, ..SystemConfig::tiny() };
+        let map = AccountMap::round_robin(&cfg);
+        let ledger = ShardLedger::new(ShardId(0), &map, 1000);
+        (map, ledger)
+    }
+
+    fn sub_with(conditions: Vec<Condition>, actions: Vec<Action>) -> SubTransaction {
+        SubTransaction { txn: TxnId(1), dest: ShardId(0), conditions, actions }
+    }
+
+    #[test]
+    fn seeds_owned_accounts() {
+        let (map, ledger) = setup();
+        // Shard 0 owns accounts 0 and 4 under round-robin over 4 shards.
+        assert_eq!(map.accounts_of(ShardId(0)), &[AccountId(0), AccountId(4)]);
+        assert_eq!(ledger.balance(AccountId(0)), Some(1000));
+        assert_eq!(ledger.balance(AccountId(4)), Some(1000));
+        assert_eq!(ledger.balance(AccountId(1)), None, "not owned");
+        assert_eq!(ledger.total(), 2000);
+    }
+
+    #[test]
+    fn condition_check() {
+        let (_, ledger) = setup();
+        let ok = sub_with(vec![Condition { account: AccountId(0), min_balance: 1000 }], vec![]);
+        assert!(ledger.check(&ok));
+        let too_high =
+            sub_with(vec![Condition { account: AccountId(0), min_balance: 1001 }], vec![]);
+        assert!(!ledger.check(&too_high));
+        let unknown =
+            sub_with(vec![Condition { account: AccountId(1), min_balance: 0 }], vec![]);
+        assert!(!ledger.check(&unknown), "foreign account fails the vote");
+    }
+
+    #[test]
+    fn action_validity_guards_underflow() {
+        let (_, ledger) = setup();
+        let ok = sub_with(vec![], vec![Action { account: AccountId(0), delta: -1000 }]);
+        assert!(ledger.check(&ok));
+        let under = sub_with(vec![], vec![Action { account: AccountId(0), delta: -1001 }]);
+        assert!(!ledger.check(&under));
+        // Order matters: +500 then −1500 is fine; −1500 then +500 is not.
+        let fine = sub_with(
+            vec![],
+            vec![
+                Action { account: AccountId(0), delta: 500 },
+                Action { account: AccountId(0), delta: -1500 },
+            ],
+        );
+        assert!(ledger.check(&fine));
+        let bad = sub_with(
+            vec![],
+            vec![
+                Action { account: AccountId(0), delta: -1500 },
+                Action { account: AccountId(0), delta: 500 },
+            ],
+        );
+        assert!(!ledger.check(&bad));
+    }
+
+    #[test]
+    fn apply_updates_balances() {
+        let (_, mut ledger) = setup();
+        let s = sub_with(
+            vec![],
+            vec![
+                Action { account: AccountId(0), delta: -300 },
+                Action { account: AccountId(4), delta: 300 },
+            ],
+        );
+        assert!(ledger.check(&s));
+        ledger.apply(&s);
+        assert_eq!(ledger.balance(AccountId(0)), Some(700));
+        assert_eq!(ledger.balance(AccountId(4)), Some(1300));
+        assert_eq!(ledger.total(), 2000, "intra-shard transfer conserves");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn apply_without_check_panics_on_underflow() {
+        let (_, mut ledger) = setup();
+        let s = sub_with(vec![], vec![Action { account: AccountId(0), delta: -5000 }]);
+        ledger.apply(&s);
+    }
+}

@@ -1,0 +1,35 @@
+//! # simnet
+//!
+//! The synchronous simulation substrate beneath both schedulers:
+//!
+//! * [`network`] — inter-shard message passing over a [`ShardMetric`]:
+//!   a message sent at round `r` from `S_i` to `S_j` is delivered at round
+//!   `r + distance(S_i, S_j)` (distance 1 everywhere in the uniform model).
+//! * [`blockchain`] — per-shard local ledgers: hash-linked blocks of
+//!   committed subtransactions, with verification. The global blockchain is
+//!   reconstructable as the union of local chains (Section 3).
+//! * [`pbft`] — the intra-shard consensus abstraction. The paper *assumes*
+//!   PBFT completes within one round; we keep that timing assumption but
+//!   actually execute the quorum logic (pre-prepare/prepare/commit vote
+//!   counting under `n > 3f`), so fault-injection tests exercise real
+//!   decisions. Includes the `(f₁+1)×(f₂+1)` broadcast cluster-sending rule
+//!   of Hellings–Sadoghi that the paper cites for reliable inter-shard
+//!   transmission.
+//! * [`ledger`] — account balances per shard and commit application,
+//!   including condition checking (the "condition + action" split of the
+//!   paper's subtransactions).
+//!
+//! [`ShardMetric`]: cluster::ShardMetric
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockchain;
+pub mod ledger;
+pub mod network;
+pub mod pbft;
+
+pub use blockchain::{Block, LocalChain};
+pub use ledger::ShardLedger;
+pub use network::{Envelope, Network};
+pub use pbft::{ClusterSender, ConsensusOutcome, PbftShard, Vote};

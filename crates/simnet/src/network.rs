@@ -1,0 +1,243 @@
+//! Inter-shard message passing with metric delays.
+//!
+//! Shards communicate over the weighted clique `G_s`. A message from `S_i`
+//! to `S_j` sent at round `r` arrives at round `r + d(S_i, S_j)`; in the
+//! uniform model every distance is 1, matching "any shard can send or
+//! receive information within one round". Delivery within a round is
+//! deterministic: messages are handed out sorted by (destination, sender,
+//! sequence), so simulations are bit-reproducible.
+
+use cluster::ShardMetric;
+use sharding_core::{Round, ShardId};
+use std::collections::BTreeMap;
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<P> {
+    /// Sending shard.
+    pub from: ShardId,
+    /// Destination shard.
+    pub to: ShardId,
+    /// Round at which the message was sent.
+    pub sent: Round,
+    /// Round at which the message is delivered.
+    pub deliver_at: Round,
+    /// Monotone per-network sequence number (tie-break for determinism).
+    pub seq: u64,
+    /// Scheduler-defined payload.
+    pub payload: P,
+}
+
+/// The simulated inter-shard network.
+///
+/// Generic over the payload type so each scheduler defines its own message
+/// enum. Not tied to wall-clock: the driving loop calls
+/// [`Network::deliver_due`] once per round.
+pub struct Network<P> {
+    /// Messages keyed by delivery round.
+    in_flight: BTreeMap<Round, Vec<Envelope<P>>>,
+    /// Distance matrix snapshot.
+    dist: Vec<u64>,
+    shards: usize,
+    seq: u64,
+    sent_count: u64,
+    delivered_count: u64,
+    /// Optional payload sizer for byte accounting (the paper bounds the
+    /// worst-case message size by `O(bs)`).
+    sizer: Option<fn(&P) -> usize>,
+    bytes_sent: u64,
+    max_message_bytes: u64,
+}
+
+impl<P> Network<P> {
+    /// Builds a network over `metric`.
+    pub fn new(metric: &dyn ShardMetric) -> Self {
+        let s = metric.shards();
+        let mut dist = vec![0u64; s * s];
+        for a in 0..s {
+            for b in 0..s {
+                dist[a * s + b] = metric.distance(ShardId(a as u32), ShardId(b as u32));
+            }
+        }
+        Network {
+            in_flight: BTreeMap::new(),
+            dist,
+            shards: s,
+            seq: 0,
+            sent_count: 0,
+            delivered_count: 0,
+            sizer: None,
+            bytes_sent: 0,
+            max_message_bytes: 0,
+        }
+    }
+
+    /// Enables byte accounting with an estimator for payload sizes.
+    pub fn set_sizer(&mut self, sizer: fn(&P) -> usize) {
+        self.sizer = Some(sizer);
+    }
+
+    /// Total payload bytes sent (0 when no sizer is set).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Largest single message payload observed (0 when no sizer is set).
+    pub fn max_message_bytes(&self) -> u64 {
+        self.max_message_bytes
+    }
+
+    /// Distance (in rounds) between two shards.
+    #[inline]
+    pub fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        self.dist[a.index() * self.shards + b.index()]
+    }
+
+    /// Sends `payload` from `from` to `to` at round `now`.
+    ///
+    /// A message to self is delivered next round (the shard still needs a
+    /// consensus round to agree on it); a message across distance `d`
+    /// arrives at `now + d`.
+    pub fn send(&mut self, from: ShardId, to: ShardId, now: Round, payload: P) {
+        if let Some(sizer) = self.sizer {
+            let bytes = sizer(&payload) as u64;
+            self.bytes_sent += bytes;
+            self.max_message_bytes = self.max_message_bytes.max(bytes);
+        }
+        let d = self.distance(from, to).max(1);
+        let deliver_at = now.plus(d);
+        let env = Envelope { from, to, sent: now, deliver_at, seq: self.seq, payload };
+        self.seq += 1;
+        self.sent_count += 1;
+        self.in_flight.entry(deliver_at).or_default().push(env);
+    }
+
+    /// Broadcasts `payload` from `from` to every shard in `dests`.
+    pub fn send_many<I: IntoIterator<Item = ShardId>>(
+        &mut self,
+        from: ShardId,
+        dests: I,
+        now: Round,
+        payload: P,
+    ) where
+        P: Clone,
+    {
+        for to in dests {
+            self.send(from, to, now, payload.clone());
+        }
+    }
+
+    /// Removes and returns all messages due at round `now`, sorted by
+    /// (destination, sender, sequence).
+    pub fn deliver_due(&mut self, now: Round) -> Vec<Envelope<P>> {
+        let mut due = self.in_flight.remove(&now).unwrap_or_default();
+        due.sort_by_key(|e| (e.to, e.from, e.seq));
+        self.delivered_count += due.len() as u64;
+        due
+    }
+
+    /// Number of messages still in flight.
+    pub fn pending(&self) -> usize {
+        self.in_flight.values().map(Vec::len).sum()
+    }
+
+    /// Total messages sent so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent_count
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// The earliest round at which a message is due (None when idle).
+    pub fn next_delivery(&self) -> Option<Round> {
+        self.in_flight.keys().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{LineMetric, UniformMetric};
+
+    #[test]
+    fn uniform_delivers_next_round() {
+        let m = UniformMetric::new(4);
+        let mut n: Network<&'static str> = Network::new(&m);
+        n.send(ShardId(0), ShardId(3), Round(5), "hello");
+        assert!(n.deliver_due(Round(5)).is_empty());
+        let due = n.deliver_due(Round(6));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload, "hello");
+        assert_eq!(due[0].sent, Round(5));
+        assert_eq!(n.pending(), 0);
+    }
+
+    #[test]
+    fn line_distance_delays() {
+        let m = LineMetric::new(10);
+        let mut n: Network<u32> = Network::new(&m);
+        n.send(ShardId(0), ShardId(7), Round(0), 1);
+        n.send(ShardId(0), ShardId(1), Round(0), 2);
+        assert_eq!(n.deliver_due(Round(1)).len(), 1);
+        assert!(n.deliver_due(Round(3)).is_empty());
+        assert_eq!(n.deliver_due(Round(7)).len(), 1);
+    }
+
+    #[test]
+    fn self_send_takes_one_round() {
+        let m = UniformMetric::new(2);
+        let mut n: Network<()> = Network::new(&m);
+        n.send(ShardId(1), ShardId(1), Round(10), ());
+        assert_eq!(n.deliver_due(Round(11)).len(), 1);
+    }
+
+    #[test]
+    fn delivery_order_is_deterministic() {
+        let m = UniformMetric::new(4);
+        let mut n: Network<u32> = Network::new(&m);
+        n.send(ShardId(3), ShardId(1), Round(0), 30);
+        n.send(ShardId(2), ShardId(0), Round(0), 20);
+        n.send(ShardId(0), ShardId(1), Round(0), 10);
+        let due = n.deliver_due(Round(1));
+        let order: Vec<(u32, u32)> = due.iter().map(|e| (e.to.raw(), e.from.raw())).collect();
+        assert_eq!(order, vec![(0, 2), (1, 0), (1, 3)]);
+    }
+
+    #[test]
+    fn send_many_broadcasts() {
+        let m = UniformMetric::new(5);
+        let mut n: Network<&'static str> = Network::new(&m);
+        n.send_many(ShardId(0), (1..5).map(ShardId), Round(0), "b");
+        assert_eq!(n.deliver_due(Round(1)).len(), 4);
+        assert_eq!(n.sent_count(), 4);
+        assert_eq!(n.delivered_count(), 4);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_max_and_total() {
+        let m = UniformMetric::new(3);
+        let mut n: Network<Vec<u8>> = Network::new(&m);
+        assert_eq!(n.bytes_sent(), 0);
+        n.send(ShardId(0), ShardId(1), Round(0), vec![0; 10]);
+        assert_eq!(n.bytes_sent(), 0, "no sizer set yet");
+        n.set_sizer(|p| p.len());
+        n.send(ShardId(0), ShardId(1), Round(0), vec![0; 10]);
+        n.send(ShardId(0), ShardId(2), Round(0), vec![0; 300]);
+        n.send(ShardId(1), ShardId(2), Round(0), vec![0; 5]);
+        assert_eq!(n.bytes_sent(), 315);
+        assert_eq!(n.max_message_bytes(), 300);
+    }
+
+    #[test]
+    fn next_delivery_tracks_earliest() {
+        let m = LineMetric::new(10);
+        let mut n: Network<()> = Network::new(&m);
+        assert_eq!(n.next_delivery(), None);
+        n.send(ShardId(0), ShardId(9), Round(0), ());
+        n.send(ShardId(0), ShardId(2), Round(0), ());
+        assert_eq!(n.next_delivery(), Some(Round(2)));
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: run both schedulers on the paper's Section 7 configuration
+//! and print their reports side by side.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blockshard::prelude::*;
+
+fn main() {
+    // The paper's simulation setup: 64 shards, 64 accounts (one per
+    // shard), transactions touching up to k = 8 shards.
+    let sys = SystemConfig::paper_simulation();
+    let map = AccountMap::random(&sys, 1);
+
+    // A (ρ, b)-constrained adversary: steady rate 0.10 with a burst of
+    // 200 transactions-worth of congestion at round 500.
+    let adv = AdversaryConfig {
+        rho: 0.10,
+        burstiness: 200,
+        strategy: StrategyKind::SingleBurst { burst_round: 500 },
+        seed: 42,
+        ..Default::default()
+    };
+    let rounds = Round(5_000);
+
+    println!("System: s={} accounts={} k={}", sys.shards, sys.accounts, sys.k_max);
+    println!(
+        "Adversary: rho={} b={} ({} rounds)\n",
+        adv.rho,
+        adv.burstiness,
+        rounds.raw()
+    );
+
+    // Theorem thresholds for these parameters.
+    println!(
+        "Theorem 1 absolute stability threshold: rho <= {:.4}",
+        bounds::theorem1_threshold(sys.k_max, sys.shards)
+    );
+    println!(
+        "Theorem 2 BDS admissible rate:          rho <= {:.4}",
+        bounds::bds_rate_bound(sys.k_max, sys.shards)
+    );
+    println!(
+        "Theorem 2 queue bound: {} txns; latency bound: {} rounds (b={})\n",
+        bounds::bds_queue_bound(adv.burstiness, sys.shards),
+        bounds::bds_latency_bound(adv.burstiness, sys.k_max, sys.shards),
+        adv.burstiness
+    );
+
+    // Algorithm 1 on the uniform model.
+    let bds = run_bds(&sys, &map, &adv, rounds);
+    println!("{}", bds.summary());
+
+    // Algorithm 2 on the line topology (the paper's Figure 3 setting).
+    let fds = schedulers::fds::run_fds_line(&sys, &map, &adv, rounds);
+    println!("{}", fds.summary());
+
+    println!(
+        "\nBDS resolved {:.1}% of transactions, FDS {:.1}% — FDS pays a \
+         distance penalty on the line, as in the paper's Figures 2-3.",
+        100.0 * bds.resolution_rate(),
+        100.0 * fds.resolution_rate()
+    );
+}

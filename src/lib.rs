@@ -1,0 +1,52 @@
+//! # blockshard
+//!
+//! A complete Rust implementation of *“Stable Blockchain Sharding under
+//! Adversarial Transaction Generation”* (Adhikari, Busch, Kowalski —
+//! SPAA 2024): adversarial `(ρ, b)` transaction generation, the BDS and FDS
+//! stable schedulers, a synchronous sharded-blockchain simulator, a
+//! hierarchical shard-clustering layer, and the experiment harness that
+//! regenerates the paper's figures.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names. See `DESIGN.md` for the architecture and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blockshard::prelude::*;
+//!
+//! // The paper's Section 7 setup: 64 shards, one account each, k = 8.
+//! let cfg = SystemConfig::paper_simulation();
+//! let map = AccountMap::random(&cfg, 1);
+//! let workload = AdversaryConfig {
+//!     rho: 0.10,
+//!     burstiness: 50,
+//!     strategy: StrategyKind::UniformRandom,
+//!     seed: 7,
+//!     ..Default::default()
+//! };
+//! let report = run_bds(&cfg, &map, &workload, Round(2_000));
+//! assert!(report.committed > 0);
+//! ```
+
+pub use adversary;
+pub use cluster;
+pub use conflict;
+pub use runtime;
+pub use schedulers;
+pub use sharding_core as core_types;
+pub use simnet;
+
+/// Convenience re-exports covering the common experiment workflow.
+pub mod prelude {
+    pub use adversary::{AdversaryConfig, StrategyKind};
+    pub use cluster::{LineMetric, ShardMetric, UniformMetric};
+    pub use schedulers::{
+        run_bds, run_bds_with_metric, run_fds, BdsConfig, FdsConfig, RunReport, SchedulerKind,
+    };
+    pub use sharding_core::{
+        bounds, AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId,
+    };
+    pub use sharding_core::stats::{StabilityDetector, StabilityVerdict};
+}
