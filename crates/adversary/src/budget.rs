@@ -27,7 +27,11 @@ impl ShardBudgets {
     pub fn new(shards: usize, rho: f64, b: u64) -> Self {
         assert!(rho > 0.0 && rho <= 1.0, "paper restricts 0 < rho <= 1");
         assert!(b >= 1, "paper restricts b >= 1");
-        ShardBudgets { rho, burst: b as f64, level: vec![b as f64; shards] }
+        ShardBudgets {
+            rho,
+            burst: b as f64,
+            level: vec![b as f64; shards],
+        }
     }
 
     /// Advances one round: cap at `b`, then accrue `ρ`.
@@ -172,6 +176,9 @@ mod tests {
         }
         // And the long-run rate approaches rho (not wasting budget).
         let total: u64 = per_round.iter().sum();
-        assert!(total as f64 >= rho * 500.0 - 2.0, "greedy drain achieves the rate");
+        assert!(
+            total as f64 >= rho * 500.0 - 2.0,
+            "greedy drain achieves the rate"
+        );
     }
 }

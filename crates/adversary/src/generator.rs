@@ -133,7 +133,13 @@ impl Adversary {
 
     /// Builds a transaction over one random account per shard in `shards`,
     /// shaped per [`WorkloadShape`].
-    fn build_txn(&mut self, id: TxnId, home: ShardId, round: Round, shards: &[ShardId]) -> Transaction {
+    fn build_txn(
+        &mut self,
+        id: TxnId,
+        home: ShardId,
+        round: Round,
+        shards: &[ShardId],
+    ) -> Transaction {
         let accounts: Vec<_> = shards
             .iter()
             .map(|&s| {
@@ -159,9 +165,7 @@ impl Adversary {
                     builder = builder.update(payer, amount as i64);
                 } else {
                     let share = (amount / (accounts.len() as u64 - 1)).max(1);
-                    builder = builder
-                        .check(payer, amount)
-                        .update(payer, -(amount as i64));
+                    builder = builder.check(payer, amount).update(payer, -(amount as i64));
                     for &a in &accounts[1..] {
                         builder = builder.update(a, share as i64);
                     }
@@ -187,14 +191,18 @@ mod tests {
         let cfg = SystemConfig::paper_simulation();
         let map = AccountMap::round_robin(&cfg);
         let mut adv = Adversary::new(&cfg, &map, acfg);
-        let trace: Vec<Vec<Transaction>> =
-            (0..rounds).map(|r| adv.generate(Round(r))).collect();
+        let trace: Vec<Vec<Transaction>> = (0..rounds).map(|r| adv.generate(Round(r))).collect();
         (cfg, trace)
     }
 
     #[test]
     fn deterministic_in_seed() {
-        let acfg = AdversaryConfig { rho: 0.2, burstiness: 10, seed: 9, ..Default::default() };
+        let acfg = AdversaryConfig {
+            rho: 0.2,
+            burstiness: 10,
+            seed: 9,
+            ..Default::default()
+        };
         let (_, t1) = run(acfg, 200);
         let (_, t2) = run(acfg, 200);
         assert_eq!(t1, t2);
@@ -204,8 +212,15 @@ mod tests {
 
     #[test]
     fn ids_unique_and_monotone() {
-        let (_, trace) =
-            run(AdversaryConfig { rho: 0.3, burstiness: 5, seed: 1, ..Default::default() }, 300);
+        let (_, trace) = run(
+            AdversaryConfig {
+                rho: 0.3,
+                burstiness: 5,
+                seed: 1,
+                ..Default::default()
+            },
+            300,
+        );
         let ids: Vec<u64> = trace.iter().flatten().map(|t| t.id.raw()).collect();
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
@@ -218,9 +233,18 @@ mod tests {
             StrategyKind::PairwiseConflict,
             StrategyKind::HotShard,
             StrategyKind::BurstTrain { period: 100 },
-            StrategyKind::CountBurst { burst_round: 50, count: 60 },
+            StrategyKind::CountBurst {
+                burst_round: 50,
+                count: 60,
+            },
         ] {
-            let acfg = AdversaryConfig { rho: 0.25, burstiness: 8, strategy, seed: 3, ..Default::default() };
+            let acfg = AdversaryConfig {
+                rho: 0.25,
+                burstiness: 8,
+                strategy,
+                seed: 3,
+                ..Default::default()
+            };
             let (cfg, trace) = run(acfg, 400);
             let mut rec = TraceRecorder::new(cfg.shards);
             for batch in &trace {
@@ -238,10 +262,14 @@ mod tests {
         // transactions the AND-admission across k buckets rejects heavily;
         // that regime is exercised in `tiny_burstiness_still_conforms`.)
         let rho = 0.15;
-        let acfg = AdversaryConfig { rho, burstiness: 50, seed: 4, ..Default::default() };
+        let acfg = AdversaryConfig {
+            rho,
+            burstiness: 50,
+            seed: 4,
+            ..Default::default()
+        };
         let (cfg, trace) = run(acfg, 3000);
-        let congestion: usize =
-            trace.iter().flatten().map(|t| t.shard_count()).sum();
+        let congestion: usize = trace.iter().flatten().map(|t| t.shard_count()).sum();
         let per_shard_rate = congestion as f64 / cfg.shards as f64 / 3000.0;
         assert!(
             per_shard_rate > 0.9 * rho && per_shard_rate <= rho + 50.0 / 3000.0 + 0.02,
@@ -251,14 +279,22 @@ mod tests {
 
     #[test]
     fn tiny_burstiness_still_conforms() {
-        let acfg = AdversaryConfig { rho: 0.15, burstiness: 2, seed: 4, ..Default::default() };
+        let acfg = AdversaryConfig {
+            rho: 0.15,
+            burstiness: 2,
+            seed: 4,
+            ..Default::default()
+        };
         let (cfg, trace) = run(acfg, 500);
         let mut rec = TraceRecorder::new(cfg.shards);
         for batch in &trace {
             rec.record_round(batch.iter());
         }
         validate_trace(&rec, acfg.rho, acfg.burstiness).unwrap();
-        assert!(trace.iter().flatten().count() > 0, "still generates something");
+        assert!(
+            trace.iter().flatten().count() > 0,
+            "still generates something"
+        );
     }
 
     #[test]
@@ -339,8 +375,16 @@ mod tests {
 
     #[test]
     fn read_mostly_shape_thins_conflicts() {
-        let acfg_w = AdversaryConfig { rho: 0.3, burstiness: 30, seed: 4, ..Default::default() };
-        let acfg_r = AdversaryConfig { shape: WorkloadShape::ReadMostly, ..acfg_w };
+        let acfg_w = AdversaryConfig {
+            rho: 0.3,
+            burstiness: 30,
+            seed: 4,
+            ..Default::default()
+        };
+        let acfg_r = AdversaryConfig {
+            shape: WorkloadShape::ReadMostly,
+            ..acfg_w
+        };
         let (_, tw) = run(acfg_w, 200);
         let (_, tr) = run(acfg_r, 200);
         let all_w: Vec<_> = tw.into_iter().flatten().collect();
@@ -366,8 +410,15 @@ mod tests {
 
     #[test]
     fn transactions_write_each_accessed_shard() {
-        let (cfg, trace) =
-            run(AdversaryConfig { rho: 0.2, burstiness: 3, seed: 6, ..Default::default() }, 100);
+        let (cfg, trace) = run(
+            AdversaryConfig {
+                rho: 0.2,
+                burstiness: 3,
+                seed: 6,
+                ..Default::default()
+            },
+            100,
+        );
         let map = AccountMap::round_robin(&cfg);
         for t in trace.iter().flatten() {
             t.validate(cfg.k_max).unwrap();

@@ -86,7 +86,12 @@ pub(crate) struct Proposer {
 
 impl Proposer {
     pub(crate) fn new(kind: StrategyKind) -> Self {
-        Proposer { kind, carry: 0.0, group_cursor: 0, zipf_cdf: Vec::new() }
+        Proposer {
+            kind,
+            carry: 0.0,
+            group_cursor: 0,
+            zipf_cdf: Vec::new(),
+        }
     }
 
     /// Proposes candidate access sets for `round`.
@@ -310,12 +315,12 @@ mod tests {
             let mut seen = std::collections::BTreeSet::new();
             for i in 0..group.len() {
                 for j in (i + 1)..group.len() {
-                    let shared: Vec<_> = group[i]
-                        .iter()
-                        .filter(|s| group[j].contains(s))
-                        .collect();
+                    let shared: Vec<_> = group[i].iter().filter(|s| group[j].contains(s)).collect();
                     assert_eq!(shared.len(), 1, "pair ({i},{j}) shares exactly one shard");
-                    assert!(seen.insert(*shared[0]), "shared shard is unique to the pair");
+                    assert!(
+                        seen.insert(*shared[0]),
+                        "shared shard is unique to the pair"
+                    );
                 }
             }
         }
@@ -323,9 +328,18 @@ mod tests {
 
     #[test]
     fn pairwise_p_respects_k_and_s() {
-        let cfg = SystemConfig { shards: 64, k_max: 8, ..SystemConfig::paper_simulation() };
+        let cfg = SystemConfig {
+            shards: 64,
+            k_max: 8,
+            ..SystemConfig::paper_simulation()
+        };
         assert_eq!(pairwise_p(&cfg), 8);
-        let cfg = SystemConfig { shards: 6, k_max: 8, accounts: 6, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            shards: 6,
+            k_max: 8,
+            accounts: 6,
+            ..SystemConfig::tiny()
+        };
         // max p with p(p+1)/2 <= 6 is 3.
         assert_eq!(pairwise_p(&cfg), 3);
     }
@@ -379,7 +393,12 @@ mod tests {
 
     #[test]
     fn single_burst_fires_once() {
-        let cfg = SystemConfig { shards: 4, accounts: 4, k_max: 2, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            shards: 4,
+            accounts: 4,
+            k_max: 2,
+            ..SystemConfig::tiny()
+        };
         let mut prop = Proposer::new(StrategyKind::SingleBurst { burst_round: 5 });
         let mut rng = seeded_rng(4);
         let mut sizes = Vec::new();
@@ -387,7 +406,16 @@ mod tests {
             sizes.push(prop.propose(&cfg, 0.05, 3, Round(r), &mut rng).len());
         }
         let burst = sizes[5];
-        let max_other = sizes.iter().enumerate().filter(|(i, _)| *i != 5).map(|(_, &s)| s).max().unwrap();
-        assert!(burst > max_other + 5, "burst round proposes much more: {sizes:?}");
+        let max_other = sizes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5)
+            .map(|(_, &s)| s)
+            .max()
+            .unwrap();
+        assert!(
+            burst > max_other + 5,
+            "burst round proposes much more: {sizes:?}"
+        );
     }
 }

@@ -24,7 +24,10 @@ pub struct TraceRecorder {
 impl TraceRecorder {
     /// New recorder for `shards` shards.
     pub fn new(shards: usize) -> Self {
-        TraceRecorder { shards, rounds: Vec::new() }
+        TraceRecorder {
+            shards,
+            rounds: Vec::new(),
+        }
     }
 
     /// Records the batch injected during the next round.

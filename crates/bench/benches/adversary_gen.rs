@@ -1,6 +1,8 @@
 //! Criterion benches for adversarial generation and trace validation.
 
-use adversary::{tightest_burstiness, validate_trace, Adversary, AdversaryConfig, StrategyKind, TraceRecorder};
+use adversary::{
+    tightest_burstiness, validate_trace, Adversary, AdversaryConfig, StrategyKind, TraceRecorder,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use sharding_core::{AccountMap, Round, SystemConfig};
 
@@ -19,7 +21,13 @@ fn bench_generation(c: &mut Criterion) {
                 let mut adv = Adversary::new(
                     &sys,
                     &map,
-                    AdversaryConfig { rho: 0.2, burstiness: 100, strategy, seed: 1, ..Default::default() },
+                    AdversaryConfig {
+                        rho: 0.2,
+                        burstiness: 100,
+                        strategy,
+                        seed: 1,
+                        ..Default::default()
+                    },
                 );
                 let mut total = 0usize;
                 for r in 0..2_000u64 {

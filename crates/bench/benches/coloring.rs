@@ -1,8 +1,8 @@
 //! Criterion benches for conflict-graph construction and coloring — the
 //! leader shard's per-epoch hot path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use conflict::{dsatur, greedy_by_accounts, greedy_by_order, ConflictGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use sharding_core::rngutil::seeded_rng;
@@ -48,8 +48,12 @@ fn bench_colorings(c: &mut Criterion) {
     let txns = workload(800, 64, 8, 2);
     let graph = ConflictGraph::build(&txns);
     let order: Vec<u32> = (0..graph.len() as u32).collect();
-    g.bench_function("greedy_graph_800", |b| b.iter(|| greedy_by_order(&graph, &order)));
-    g.bench_function("greedy_accounts_800", |b| b.iter(|| greedy_by_accounts(&txns)));
+    g.bench_function("greedy_graph_800", |b| {
+        b.iter(|| greedy_by_order(&graph, &order))
+    });
+    g.bench_function("greedy_accounts_800", |b| {
+        b.iter(|| greedy_by_accounts(&txns))
+    });
     g.bench_function("dsatur_800", |b| b.iter(|| dsatur(&graph)));
     g.finish();
 }

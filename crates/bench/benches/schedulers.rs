@@ -28,9 +28,21 @@ fn bench_schedulers(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler_1000_rounds_s64_rho0.1");
     g.sample_size(10);
     g.bench_function("bds", |b| b.iter(|| run_bds(&sys, &map, &adv, rounds)));
-    g.bench_function("fds_line", |b| b.iter(|| run_fds_line(&sys, &map, &adv, rounds)));
+    g.bench_function("fds_line", |b| {
+        b.iter(|| run_fds_line(&sys, &map, &adv, rounds))
+    });
     g.bench_function("fcfs", |b| {
-        b.iter(|| run_fcfs(&sys, &map, &adv, rounds, FcfsConfig { respect_capacity: true }))
+        b.iter(|| {
+            run_fcfs(
+                &sys,
+                &map,
+                &adv,
+                rounds,
+                FcfsConfig {
+                    respect_capacity: true,
+                },
+            )
+        })
     });
     g.finish();
 }

@@ -55,14 +55,20 @@ fn main() {
     let line = LineMetric::new(sys.shards);
 
     header("1. BDS leader rotation (uniform, rho=0.12, b=1000)");
-    for (name, rotate) in [("rotating leader (paper)", true), ("fixed leader S0", false)] {
+    for (name, rotate) in [
+        ("rotating leader (paper)", true),
+        ("fixed leader S0", false),
+    ] {
         let r = run_bds_with_metric(
             &sys,
             &map,
             &adv,
             rounds,
             &uniform,
-            BdsConfig { rotate_leader: rotate, ..BdsConfig::default() },
+            BdsConfig {
+                rotate_leader: rotate,
+                ..BdsConfig::default()
+            },
         );
         row(name, &r);
     }
@@ -72,7 +78,10 @@ fn main() {
     for (name, coloring) in [
         ("greedy first-fit (paper)", ColoringStrategy::Greedy),
         ("DSATUR", ColoringStrategy::Dsatur),
-        ("heavy/light split (Lemma 1)", ColoringStrategy::HeavyLight { threshold }),
+        (
+            "heavy/light split (Lemma 1)",
+            ColoringStrategy::HeavyLight { threshold },
+        ),
     ] {
         let r = run_bds_with_metric(
             &sys,
@@ -80,20 +89,29 @@ fn main() {
             &adv,
             rounds,
             &uniform,
-            BdsConfig { coloring, ..BdsConfig::default() },
+            BdsConfig {
+                coloring,
+                ..BdsConfig::default()
+            },
         );
         row(name, &r);
     }
 
     header("3. FDS rescheduling periods (line, rho=0.12, b=1000)");
-    for (name, reschedule) in [("rescheduling on (paper)", true), ("rescheduling off", false)] {
+    for (name, reschedule) in [
+        ("rescheduling on (paper)", true),
+        ("rescheduling off", false),
+    ] {
         let r = run_fds(
             &sys,
             &map,
             &adv,
             rounds,
             &line,
-            FdsConfig { reschedule, ..FdsConfig::default() },
+            FdsConfig {
+                reschedule,
+                ..FdsConfig::default()
+            },
         );
         row(name, &r);
     }
@@ -107,7 +125,10 @@ fn main() {
         let mut sim = FdsSim::new(
             &sys,
             &map,
-            FdsConfig { pipeline_window: w, ..FdsConfig::default() },
+            FdsConfig {
+                pipeline_window: w,
+                ..FdsConfig::default()
+            },
             &line,
         );
         let mut adversary = Adversary::new(&sys, &map, adv);
@@ -124,7 +145,13 @@ fn main() {
         row(
             &format!(
                 "W = {w}{} viol={}",
-                if w == 1 { " (strict Alg. 2b)" } else if w == 16 { " (default)" } else { "" },
+                if w == 1 {
+                    " (strict Alg. 2b)"
+                } else if w == 16 {
+                    " (default)"
+                } else {
+                    ""
+                },
                 violations.len()
             ),
             &r,
@@ -139,8 +166,14 @@ fn main() {
             &adv,
             rounds,
             &line,
-            FdsConfig { sublayers: h2, ..FdsConfig::default() },
+            FdsConfig {
+                sublayers: h2,
+                ..FdsConfig::default()
+            },
         );
-        row(&format!("H2 = {h2}{}", if h2 == 2 { " (paper)" } else { "" }), &r);
+        row(
+            &format!("H2 = {h2}{}", if h2 == 2 { " (paper)" } else { "" }),
+            &r,
+        );
     }
 }

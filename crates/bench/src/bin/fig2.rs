@@ -52,8 +52,12 @@ fn main() {
     let low: Vec<_> = cells.iter().filter(|c| c.rho <= 0.101).collect();
     let high: Vec<_> = cells.iter().filter(|c| c.rho >= 0.269).collect();
     if let (Some(l), Some(h)) = (
-        low.iter().map(|c| c.report.avg_queue_per_shard).reduce(f64::max),
-        high.iter().map(|c| c.report.avg_queue_per_shard).reduce(f64::max),
+        low.iter()
+            .map(|c| c.report.avg_queue_per_shard)
+            .reduce(f64::max),
+        high.iter()
+            .map(|c| c.report.avg_queue_per_shard)
+            .reduce(f64::max),
     ) {
         println!(
             "Measured: max avg queue at rho<=0.10 is {l:.1}; at rho>=0.27 it is {h:.1} ({}x)",

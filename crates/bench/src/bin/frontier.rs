@@ -71,17 +71,29 @@ fn main() {
         "  Theorem 2 BDS guaranteed-stable     rho  = {:.4}",
         bounds::bds_rate_bound(sys.k_max, sys.shards)
     );
-    println!(
-        "  Paper-observed knees                BDS ≈ 0.15, FDS ≈ 0.18\n"
-    );
+    println!("  Paper-observed knees                BDS ≈ 0.15, FDS ≈ 0.18\n");
 
     let bds = search(0.02, 0.5, |rho| {
-        run_bds_with_metric(&sys, &map, &workload(rho), rounds, &uniform, BdsConfig::default())
+        run_bds_with_metric(
+            &sys,
+            &map,
+            &workload(rho),
+            rounds,
+            &uniform,
+            BdsConfig::default(),
+        )
     });
     println!("BDS  (uniform):         sustains rho ≈ {bds:.2}");
 
     let fds = search(0.02, 0.5, |rho| {
-        run_fds(&sys, &map, &workload(rho), rounds, &line, FdsConfig::default())
+        run_fds(
+            &sys,
+            &map,
+            &workload(rho),
+            rounds,
+            &line,
+            FdsConfig::default(),
+        )
     });
     println!("FDS  (line, W=16):      sustains rho ≈ {fds:.2}");
 
@@ -92,13 +104,24 @@ fn main() {
             &workload(rho),
             rounds,
             &line,
-            FdsConfig { pipeline_window: 4, ..FdsConfig::default() },
+            FdsConfig {
+                pipeline_window: 4,
+                ..FdsConfig::default()
+            },
         )
     });
     println!("FDS  (line, W=4):       sustains rho ≈ {fds_w4:.2}");
 
     let fcfs = search(0.02, 0.9, |rho| {
-        run_fcfs(&sys, &map, &workload(rho), rounds, FcfsConfig { respect_capacity: true })
+        run_fcfs(
+            &sys,
+            &map,
+            &workload(rho),
+            rounds,
+            FcfsConfig {
+                respect_capacity: true,
+            },
+        )
     });
     println!("FCFS (idealized):       sustains rho ≈ {fcfs:.2}");
 

@@ -47,7 +47,15 @@ fn main() {
             seed: 3,
             ..Default::default()
         };
-        let f = run_fcfs(&sys, &map, &adv, Round(opts.rounds), FcfsConfig { respect_capacity: true });
+        let f = run_fcfs(
+            &sys,
+            &map,
+            &adv,
+            Round(opts.rounds),
+            FcfsConfig {
+                respect_capacity: true,
+            },
+        );
         let b = run_bds(&sys, &map, &adv, Round(opts.rounds));
         println!(
             "{:<12.2} {:>10.4} {:>14} {:>14} {:>12} {:>12}",

@@ -47,7 +47,9 @@ fn main() {
         let adv = AdversaryConfig {
             rho,
             burstiness: b,
-            strategy: StrategyKind::SingleBurst { burst_round: opts.rounds / 10 },
+            strategy: StrategyKind::SingleBurst {
+                burst_round: opts.rounds / 10,
+            },
             seed: 7,
             ..Default::default()
         };
@@ -72,7 +74,11 @@ fn main() {
     }
     println!(
         "\nAll theorem bounds {}.",
-        if all_ok { "hold (as proved — they are worst-case, so measured values sit below them)" } else { "VIOLATED — investigate!" }
+        if all_ok {
+            "hold (as proved — they are worst-case, so measured values sit below them)"
+        } else {
+            "VIOLATED — investigate!"
+        }
     );
     assert!(all_ok);
 }

@@ -14,11 +14,11 @@
 //! cargo run --release -p bench --bin table_t3
 //! ```
 
+use adversary::Adversary;
 use adversary::{AdversaryConfig, StrategyKind};
 use bench::Opts;
 use cluster::LineMetric;
 use schedulers::fds::{FdsConfig, FdsSim};
-use adversary::Adversary;
 use sharding_core::bounds;
 use sharding_core::{AccountMap, Round, SystemConfig};
 
@@ -54,7 +54,9 @@ fn main() {
         let adv = AdversaryConfig {
             rho,
             burstiness: b,
-            strategy: StrategyKind::SingleBurst { burst_round: opts.rounds / 10 },
+            strategy: StrategyKind::SingleBurst {
+                burst_round: opts.rounds / 10,
+            },
             seed: 7,
             ..Default::default()
         };
@@ -83,7 +85,11 @@ fn main() {
     }
     println!(
         "\nAll Theorem 3 bounds {} (c1 = {C1}).",
-        if all_ok { "hold" } else { "VIOLATED — investigate!" }
+        if all_ok {
+            "hold"
+        } else {
+            "VIOLATED — investigate!"
+        }
     );
     assert!(all_ok);
 }

@@ -104,7 +104,10 @@ pub fn paper_workload(rho: f64, b: u64, seed: u64, rounds: u64) -> AdversaryConf
     AdversaryConfig {
         rho,
         burstiness: b.max(1),
-        strategy: StrategyKind::CountBurst { burst_round: (rounds / 10).max(1), count: b },
+        strategy: StrategyKind::CountBurst {
+            burst_round: (rounds / 10).max(1),
+            count: b,
+        },
         seed,
         ..Default::default()
     }
@@ -139,8 +142,14 @@ pub fn sweep_fds(sys: &SystemConfig, map: &AccountMap, opts: &Opts) -> Vec<Cell>
     for &b in &opts.b_grid() {
         for &rho in &opts.rho_grid() {
             let adv = paper_workload(rho, b, 42, opts.rounds);
-            let report =
-                run_fds(sys, map, &adv, Round(opts.rounds), &metric, FdsConfig::default());
+            let report = run_fds(
+                sys,
+                map,
+                &adv,
+                Round(opts.rounds),
+                &metric,
+                FdsConfig::default(),
+            );
             eprintln!("  [fig3] rho={rho:.2} b={b}: {}", report.summary());
             cells.push(Cell { rho, b, report });
         }
@@ -180,7 +189,12 @@ pub fn write_csv(path: &Path, cells: &[Cell]) -> std::io::Result<()> {
 
 /// Renders an ASCII grouped bar chart: one row per ρ, one bar per b,
 /// values scaled to `width` characters.
-pub fn ascii_bars(title: &str, cells: &[Cell], value: impl Fn(&Cell) -> f64, width: usize) -> String {
+pub fn ascii_bars(
+    title: &str,
+    cells: &[Cell],
+    value: impl Fn(&Cell) -> f64,
+    width: usize,
+) -> String {
     let mut bs: Vec<u64> = cells.iter().map(|c| c.b).collect();
     bs.sort_unstable();
     bs.dedup();
@@ -210,11 +224,7 @@ pub fn ascii_bars(title: &str, cells: &[Cell], value: impl Fn(&Cell) -> f64, wid
 }
 
 /// Renders ASCII line series: for each b, `rho → value` as a column list.
-pub fn ascii_table(
-    title: &str,
-    cells: &[Cell],
-    value: impl Fn(&Cell) -> f64,
-) -> String {
+pub fn ascii_table(title: &str, cells: &[Cell], value: impl Fn(&Cell) -> f64) -> String {
     let mut bs: Vec<u64> = cells.iter().map(|c| c.b).collect();
     bs.sort_unstable();
     bs.dedup();

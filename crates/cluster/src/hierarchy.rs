@@ -117,9 +117,16 @@ impl Hierarchy {
                 sublayers.push(clusters);
                 membership.push(member);
             }
-            layers.push(Layer { sublayers, membership });
+            layers.push(Layer {
+                sublayers,
+                membership,
+            });
         }
-        Hierarchy { shards: s, layers, dist }
+        Hierarchy {
+            shards: s,
+            layers,
+            dist,
+        }
     }
 
     /// Number of layers `H1`.
@@ -150,7 +157,11 @@ impl Hierarchy {
     /// The cluster of `shard` in partition `(layer, sublayer)`.
     pub fn cluster_of(&self, layer: u32, sublayer: u32, shard: ShardId) -> ClusterId {
         let index = self.layers[layer as usize].membership[sublayer as usize][shard.index()];
-        ClusterId { layer, sublayer, index }
+        ClusterId {
+            layer,
+            sublayer,
+            index,
+        }
     }
 
     /// Distance between two shards (copied from the build metric).
@@ -199,13 +210,17 @@ impl Hierarchy {
     /// Iterates over every cluster id in the hierarchy.
     pub fn all_cluster_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
         self.layers.iter().enumerate().flat_map(|(l, layer)| {
-            layer.sublayers.iter().enumerate().flat_map(move |(j, subs)| {
-                (0..subs.len() as u32).map(move |index| ClusterId {
-                    layer: l as u32,
-                    sublayer: j as u32,
-                    index,
+            layer
+                .sublayers
+                .iter()
+                .enumerate()
+                .flat_map(move |(j, subs)| {
+                    (0..subs.len() as u32).map(move |index| ClusterId {
+                        layer: l as u32,
+                        sublayer: j as u32,
+                        index,
+                    })
                 })
-            })
         })
     }
 
@@ -264,7 +279,11 @@ fn finish_cluster(shards: Vec<ShardId>, s: usize, dist: &[u64]) -> Cluster {
             leader = a;
         }
     }
-    Cluster { shards, leader, diameter }
+    Cluster {
+        shards,
+        leader,
+        diameter,
+    }
 }
 
 #[cfg(test)]
@@ -285,7 +304,10 @@ mod tests {
                         seen[s.index()] = true;
                     }
                 }
-                assert!(seen.iter().all(|&x| x), "partition covers all shards at ({l},{j})");
+                assert!(
+                    seen.iter().all(|&x| x),
+                    "partition covers all shards at ({l},{j})"
+                );
             }
         }
     }
@@ -411,7 +433,10 @@ mod tests {
         for c in h.clusters(0, 0) {
             assert!(c.shards.len() <= 3);
             let ids: Vec<u32> = c.shards.iter().map(|s| s.raw()).collect();
-            assert!(ids.windows(2).all(|w| w[1] == w[0] + 1), "contiguous {ids:?}");
+            assert!(
+                ids.windows(2).all(|w| w[1] == w[0] + 1),
+                "contiguous {ids:?}"
+            );
         }
     }
 

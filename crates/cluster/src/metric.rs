@@ -40,7 +40,10 @@ pub trait ShardMetric: Send + Sync {
 
     /// Maximum distance from `home` to any shard in `set` (0 for empty).
     fn eccentricity_to(&self, home: ShardId, set: &[ShardId]) -> u64 {
-        set.iter().map(|&x| self.distance(home, x)).max().unwrap_or(0)
+        set.iter()
+            .map(|&x| self.distance(home, x))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -209,14 +212,18 @@ mod tests {
         for a in 0..s {
             assert_eq!(m.distance(ShardId(a), ShardId(a)), 0);
             for b in 0..s {
-                assert_eq!(m.distance(ShardId(a), ShardId(b)), m.distance(ShardId(b), ShardId(a)));
+                assert_eq!(
+                    m.distance(ShardId(a), ShardId(b)),
+                    m.distance(ShardId(b), ShardId(a))
+                );
                 if a != b {
                     assert!(m.distance(ShardId(a), ShardId(b)) >= 1);
                 }
                 for c in 0..s {
                     assert!(
                         m.distance(ShardId(a), ShardId(b))
-                            <= m.distance(ShardId(a), ShardId(c)) + m.distance(ShardId(c), ShardId(b))
+                            <= m.distance(ShardId(a), ShardId(c))
+                                + m.distance(ShardId(c), ShardId(b))
                     );
                 }
             }

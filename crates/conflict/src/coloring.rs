@@ -80,7 +80,11 @@ impl Coloring {
 
 /// Applies `strategy` to `graph` (with `txns` available for the heavy/light
 /// split, which needs per-transaction shard counts).
-pub fn color_with(strategy: ColoringStrategy, graph: &ConflictGraph, txns: &[Transaction]) -> Coloring {
+pub fn color_with(
+    strategy: ColoringStrategy,
+    graph: &ConflictGraph,
+    txns: &[Transaction],
+) -> Coloring {
     match strategy {
         ColoringStrategy::Greedy => {
             let order: Vec<u32> = (0..graph.len() as u32).collect();
@@ -219,7 +223,10 @@ pub fn color_transactions(strategy: ColoringStrategy, txns: &[Transaction]) -> C
 pub fn dsatur(graph: &ConflictGraph) -> Coloring {
     let n = graph.len();
     if n == 0 {
-        return Coloring { colors: Vec::new(), num_colors: 0 };
+        return Coloring {
+            colors: Vec::new(),
+            num_colors: 0,
+        };
     }
     const UNSET: u32 = u32::MAX;
     let mut colors = vec![UNSET; n];
@@ -295,8 +302,9 @@ pub fn heavy_light(graph: &ConflictGraph, txns: &[Transaction], threshold: usize
     // heavy neighbors (their colors are unique, so a light txn can never
     // clash with them in the >= h range).
     let base = next;
-    let light: Vec<u32> =
-        (0..n as u32).filter(|&v| colors[v as usize] == UNSET).collect();
+    let light: Vec<u32> = (0..n as u32)
+        .filter(|&v| colors[v as usize] == UNSET)
+        .collect();
     let mut num_colors = base;
     let mut forbidden: Vec<u32> = vec![UNSET; n + 1];
     for (stamp, &v) in light.iter().enumerate() {
@@ -501,21 +509,30 @@ mod tests {
     #[test]
     fn greedy_by_accounts_handles_readers() {
         use sharding_core::txn::TxnBuilder;
-        let cfg = SystemConfig { shards: 4, accounts: 4, k_max: 4, nodes_per_shard: 4, faulty_per_shard: 1 };
+        let cfg = SystemConfig {
+            shards: 4,
+            accounts: 4,
+            k_max: 4,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+        };
         let map = AccountMap::round_robin(&cfg);
         // Two readers of account 0 (plus distinct writes) and one writer.
         let txns = vec![
             TxnBuilder::new(TxnId(0), ShardId(0), Round::ZERO, &map)
                 .check(sharding_core::AccountId(0), 0)
                 .update(sharding_core::AccountId(1), 1)
-                .build().unwrap(),
+                .build()
+                .unwrap(),
             TxnBuilder::new(TxnId(1), ShardId(0), Round::ZERO, &map)
                 .check(sharding_core::AccountId(0), 0)
                 .update(sharding_core::AccountId(2), 1)
-                .build().unwrap(),
+                .build()
+                .unwrap(),
             TxnBuilder::new(TxnId(2), ShardId(0), Round::ZERO, &map)
                 .update(sharding_core::AccountId(0), 1)
-                .build().unwrap(),
+                .build()
+                .unwrap(),
         ];
         let c = greedy_by_accounts(&txns);
         // Readers share color 0; the writer must avoid both readers.

@@ -50,8 +50,11 @@ impl ConflictGraph {
         for occupants in buckets.values() {
             // Writers conflict with everyone in the bucket; readers conflict
             // only with writers.
-            let writers: Vec<u32> =
-                occupants.iter().filter(|(_, w)| *w).map(|(i, _)| *i).collect();
+            let writers: Vec<u32> = occupants
+                .iter()
+                .filter(|(_, w)| *w)
+                .map(|(i, _)| *i)
+                .collect();
             if writers.is_empty() {
                 continue;
             }
@@ -78,7 +81,10 @@ impl ConflictGraph {
             list.dedup();
             edges += list.len();
         }
-        ConflictGraph { adj, edges: edges / 2 }
+        ConflictGraph {
+            adj,
+            edges: edges / 2,
+        }
     }
 
     /// Builds a graph directly from an edge list (tests / synthetic graphs).
@@ -95,7 +101,10 @@ impl ConflictGraph {
             list.dedup();
             count += list.len();
         }
-        ConflictGraph { adj, edges: count / 2 }
+        ConflictGraph {
+            adj,
+            edges: count / 2,
+        }
     }
 
     /// Number of vertices.
@@ -147,7 +156,12 @@ mod tests {
     use sharding_core::txn::TxnBuilder;
 
     fn setup() -> AccountMap {
-        let cfg = SystemConfig { shards: 8, accounts: 16, k_max: 8, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            shards: 8,
+            accounts: 16,
+            k_max: 8,
+            ..SystemConfig::tiny()
+        };
         AccountMap::round_robin(&cfg)
     }
 
@@ -164,7 +178,9 @@ mod tests {
         for &a in accounts {
             b = b.check(sharding_core::AccountId(a), 0);
         }
-        b.update(sharding_core::AccountId(write), 1).build().unwrap()
+        b.update(sharding_core::AccountId(write), 1)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -22,5 +22,8 @@
 pub mod coloring;
 pub mod graph;
 
-pub use coloring::{color_transactions, color_with, dsatur, greedy_by_accounts, greedy_by_order, heavy_light, Coloring, ColoringStrategy};
+pub use coloring::{
+    color_transactions, color_with, dsatur, greedy_by_accounts, greedy_by_order, heavy_light,
+    Coloring, ColoringStrategy,
+};
 pub use graph::ConflictGraph;

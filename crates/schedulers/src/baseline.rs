@@ -49,8 +49,12 @@ pub fn run_fcfs(
         let mut busy_shards: BTreeSet<sharding_core::ShardId> = BTreeSet::new();
         let mut chosen = Vec::new();
         for (id, t) in pending.iter() {
-            let account_free = t.accesses().iter().all(|a| !locked_accounts.contains(&a.account));
-            let shard_free = !fcfg.respect_capacity || t.shards().all(|s| !busy_shards.contains(&s));
+            let account_free = t
+                .accesses()
+                .iter()
+                .all(|a| !locked_accounts.contains(&a.account));
+            let shard_free =
+                !fcfg.respect_capacity || t.shards().all(|s| !busy_shards.contains(&s));
             if account_free && shard_free {
                 for a in t.accesses() {
                     locked_accounts.insert(a.account);
@@ -71,7 +75,16 @@ pub fn run_fcfs(
     }
 
     let pending_at_end = pending.len() as u64;
-    collector.finish(SchedulerKind::Fcfs, rounds.raw(), generated, pending_at_end, 0, 0, 0, 0)
+    collector.finish(
+        SchedulerKind::Fcfs,
+        rounds.raw(),
+        generated,
+        pending_at_end,
+        0,
+        0,
+        0,
+        0,
+    )
 }
 
 #[cfg(test)]
@@ -96,7 +109,15 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let r = run_fcfs(&sys, &map, &adv, Round(2000), FcfsConfig { respect_capacity: true });
+        let r = run_fcfs(
+            &sys,
+            &map,
+            &adv,
+            Round(2000),
+            FcfsConfig {
+                respect_capacity: true,
+            },
+        );
         assert!(r.resolution_rate() > 0.95, "{}", r.summary());
         assert_eq!(r.verdict, StabilityVerdict::Stable);
     }
@@ -113,9 +134,22 @@ mod tests {
             seed: 2,
             ..Default::default()
         };
-        let f = run_fcfs(&sys, &map, &adv, Round(1500), FcfsConfig { respect_capacity: true });
+        let f = run_fcfs(
+            &sys,
+            &map,
+            &adv,
+            Round(1500),
+            FcfsConfig {
+                respect_capacity: true,
+            },
+        );
         let b = crate::bds::run_bds(&sys, &map, &adv, Round(1500));
-        assert!(f.avg_latency < b.avg_latency, "fcfs {} vs bds {}", f.avg_latency, b.avg_latency);
+        assert!(
+            f.avg_latency < b.avg_latency,
+            "fcfs {} vs bds {}",
+            f.avg_latency,
+            b.avg_latency
+        );
     }
 
     #[test]
@@ -128,8 +162,24 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let with = run_fcfs(&sys, &map, &adv, Round(800), FcfsConfig { respect_capacity: true });
-        let without = run_fcfs(&sys, &map, &adv, Round(800), FcfsConfig { respect_capacity: false });
+        let with = run_fcfs(
+            &sys,
+            &map,
+            &adv,
+            Round(800),
+            FcfsConfig {
+                respect_capacity: true,
+            },
+        );
+        let without = run_fcfs(
+            &sys,
+            &map,
+            &adv,
+            Round(800),
+            FcfsConfig {
+                respect_capacity: false,
+            },
+        );
         assert!(with.avg_latency >= without.avg_latency);
     }
 }

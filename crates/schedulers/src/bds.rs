@@ -29,9 +29,9 @@ use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
 use adversary::{Adversary, AdversaryConfig};
 use cluster::{ShardMetric, UniformMetric};
 use conflict::{color_transactions, ColoringStrategy};
-use simnet::{LocalChain, Network, ShardLedger};
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+use simnet::{LocalChain, Network, ShardLedger};
 use std::collections::BTreeMap;
 
 /// Tunables of the BDS run (the algorithm itself has no free parameters;
@@ -68,15 +68,9 @@ enum Msg {
     /// Phase 3 round 1: home → destination, subtransaction to validate.
     SubTxn(SubTransaction),
     /// Phase 3 round 2: destination → home, commit/abort vote.
-    Vote {
-        txn: TxnId,
-        commit: bool,
-    },
+    Vote { txn: TxnId, commit: bool },
     /// Phase 3 round 3: home → destination, final decision.
-    Decision {
-        txn: TxnId,
-        commit: bool,
-    },
+    Decision { txn: TxnId, commit: bool },
 }
 
 /// Estimated wire size of a BDS message in bytes.
@@ -284,11 +278,22 @@ impl BdsSim {
             if drained.is_empty() {
                 continue;
             }
-            self.net.send(ShardId(h as u32), leader, self.now, Msg::TxnInfo(drained.clone()));
+            self.net.send(
+                ShardId(h as u32),
+                leader,
+                self.now,
+                Msg::TxnInfo(drained.clone()),
+            );
             for t in drained {
                 self.epoch_txns[h].insert(
                     t.id,
-                    EpochEntry { txn: t, color: None, votes: 0, abort: false, decided: false },
+                    EpochEntry {
+                        txn: t,
+                        color: None,
+                        votes: 0,
+                        abort: false,
+                        decided: false,
+                    },
                 );
             }
         }
@@ -305,18 +310,24 @@ impl BdsSim {
             // Group assignments by home shard and send them back.
             let mut per_home: BTreeMap<ShardId, Vec<(TxnId, u32)>> = BTreeMap::new();
             for (v, t) in txns.iter().enumerate() {
-                per_home.entry(t.home).or_default().push((t.id, coloring.color(v)));
+                per_home
+                    .entry(t.home)
+                    .or_default()
+                    .push((t.id, coloring.color(v)));
             }
             let leader = self.leader();
             for (home, assignments) in per_home {
-                self.net.send(leader, home, self.now, Msg::ColorAssign(assignments));
+                self.net
+                    .send(leader, home, self.now, Msg::ColorAssign(assignments));
             }
             coloring.num_colors()
         };
         // Epoch length: 2 phase-gaps + 4 phase-gaps per color (paper:
         // 2 + 4(Δ+1) rounds in the uniform model). An empty epoch is just
         // the two coordination gaps.
-        let end = self.epoch_start.plus(self.gap * (2 + 4 * num_colors as u64));
+        let end = self
+            .epoch_start
+            .plus(self.gap * (2 + 4 * num_colors as u64));
         self.next_epoch_at = Some(end);
     }
 
@@ -384,10 +395,20 @@ impl BdsSim {
                     let dests: Vec<ShardId> = e.txn.shards().collect();
                     let generated = e.txn.generated;
                     for dest in dests {
-                        self.net.send(to, dest, self.now, Msg::Decision { txn, commit: commit_all });
+                        self.net.send(
+                            to,
+                            dest,
+                            self.now,
+                            Msg::Decision {
+                                txn,
+                                commit: commit_all,
+                            },
+                        );
                     }
                     // Commit lands at the destinations one gap later.
-                    let commit_round = self.now.plus(self.net.distance(to, e.txn.subs[0].dest).max(1));
+                    let commit_round = self
+                        .now
+                        .plus(self.net.distance(to, e.txn.subs[0].dest).max(1));
                     if commit_all {
                         self.collector.record_commit(generated, commit_round);
                         self.committed_log.push((commit_round, txn));
@@ -432,7 +453,14 @@ pub fn run_bds(
     adv: &AdversaryConfig,
     rounds: Round,
 ) -> RunReport {
-    run_bds_with_metric(sys, map, adv, rounds, &UniformMetric::new(sys.shards), BdsConfig::default())
+    run_bds_with_metric(
+        sys,
+        map,
+        adv,
+        rounds,
+        &UniformMetric::new(sys.shards),
+        BdsConfig::default(),
+    )
 }
 
 /// Runs BDS with an explicit metric and configuration.
@@ -508,7 +536,11 @@ mod tests {
             .filter(|c| !c.is_empty())
             .map(|c| c.shard().raw())
             .collect();
-        assert_eq!(chains_with_blocks, vec![2, 3], "subtxns landed at both destinations");
+        assert_eq!(
+            chains_with_blocks,
+            vec![2, 3],
+            "subtxns landed at both destinations"
+        );
         let r = sim.finish();
         assert_eq!(r.committed, 1);
         // Injected during epoch 0's phase 1 round ⇒ scheduled in epoch 0:
@@ -642,7 +674,10 @@ mod tests {
         }
         assert!(sim.epoch() >= 2);
         assert_eq!(sim.leader(), ShardId((sim.epoch() % 8) as u32));
-        let fixed = BdsConfig { rotate_leader: false, ..BdsConfig::default() };
+        let fixed = BdsConfig {
+            rotate_leader: false,
+            ..BdsConfig::default()
+        };
         let mut sim2 = BdsSim::new(&sys, &map, fixed);
         for _ in 0..6 {
             sim2.step(Vec::new());

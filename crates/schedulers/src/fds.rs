@@ -50,9 +50,9 @@ use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
 use adversary::{Adversary, AdversaryConfig};
 use cluster::{ClusterId, Hierarchy, LineMetric, ShardMetric};
 use conflict::{color_transactions, ColoringStrategy};
-use simnet::{LocalChain, Network, ShardLedger};
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+use simnet::{LocalChain, Network, ShardLedger};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// FDS tunables.
@@ -121,7 +121,11 @@ enum Msg {
     /// Home shard → cluster leader: a new transaction to schedule.
     ToLeader { txn: Transaction },
     /// Leader → destination: scheduled subtransaction with its height.
-    Schedule { sub: SubTransaction, height: Height, leader: ShardId },
+    Schedule {
+        sub: SubTransaction,
+        height: Height,
+        leader: ShardId,
+    },
     /// Destination → leader: validity vote for one subtransaction.
     Vote { txn: TxnId, commit: bool },
     /// Leader → destination: final commit/abort confirmation.
@@ -324,7 +328,8 @@ impl FdsSim {
                 (t + st.sch_ldr.len() + st.incoming.len(), n + 1)
             });
         let leader_avg = lead_total as f64 / lead_active.max(1) as f64;
-        self.collector.sample_queue_value(leader_avg, self.outstanding);
+        self.collector
+            .sample_queue_value(leader_avg, self.outstanding);
         self.now = self.now.next();
     }
 
@@ -346,7 +351,8 @@ impl FdsSim {
                     // Leader states are keyed by cluster; create lazily so
                     // the ToLeader handler can file the transaction.
                     self.leaders.entry(cid).or_default();
-                    self.net.send(ShardId(h as u32), leader, now, Msg::ToLeader { txn });
+                    self.net
+                        .send(ShardId(h as u32), leader, now, Msg::ToLeader { txn });
                     // Tag the message's cluster through the destination:
                     // the leader shard can lead several clusters, so the
                     // cluster id travels in the envelope via a map lookup
@@ -403,9 +409,10 @@ impl FdsSim {
             targets.extend(st.sch_ldr.values().map(|e| e.txn.clone()));
         }
         for t in incoming {
-            st.sch_ldr
-                .entry(t.id)
-                .or_insert_with(|| LeaderEntry { txn: t.clone(), votes: BTreeMap::new() });
+            st.sch_ldr.entry(t.id).or_insert_with(|| LeaderEntry {
+                txn: t.clone(),
+                votes: BTreeMap::new(),
+            });
             targets.push(t);
         }
         if targets.is_empty() {
@@ -429,7 +436,11 @@ impl FdsSim {
                     leader_shard,
                     sub.dest,
                     now,
-                    Msg::Schedule { sub: sub.clone(), height, leader: leader_shard },
+                    Msg::Schedule {
+                        sub: sub.clone(),
+                        height,
+                        leader: leader_shard,
+                    },
                 );
             }
         }
@@ -452,8 +463,10 @@ impl FdsSim {
                 continue;
             }
             // One new vote per round: the smallest-height unvoted entry.
-            let Some((_, sub)) =
-                dest.sch_qd.iter().find(|(_, s)| !dest.voted.contains(&s.txn))
+            let Some((_, sub)) = dest
+                .sch_qd
+                .iter()
+                .find(|(_, s)| !dest.voted.contains(&s.txn))
             else {
                 continue;
             };
@@ -461,7 +474,8 @@ impl FdsSim {
             let txn = sub.txn;
             let leader = dest.leader_of[&txn];
             dest.voted.insert(txn);
-            self.net.send(ShardId(d as u32), leader, now, Msg::Vote { txn, commit });
+            self.net
+                .send(ShardId(d as u32), leader, now, Msg::Vote { txn, commit });
         }
     }
 
@@ -482,7 +496,11 @@ impl FdsSim {
                 debug_assert_eq!(self.hierarchy.cluster(cid).leader, to);
                 self.leaders.entry(cid).or_default().incoming.push(txn);
             }
-            Msg::Schedule { sub, height, leader } => {
+            Msg::Schedule {
+                sub,
+                height,
+                leader,
+            } => {
                 let d = to.index();
                 let dest = &mut self.dests[d];
                 let txn = sub.txn;
@@ -548,12 +566,14 @@ impl FdsSim {
         let mut worst = 1;
         for dest in entry.txn.shards() {
             worst = worst.max(self.net.distance(leader_shard, dest).max(1));
-            self.net.send(leader_shard, dest, now, Msg::Confirm { txn, commit });
+            self.net
+                .send(leader_shard, dest, now, Msg::Confirm { txn, commit });
         }
         self.outstanding = self.outstanding.saturating_sub(1);
         let commit_round = now.plus(worst);
         if commit {
-            self.collector.record_commit(entry.txn.generated, commit_round);
+            self.collector
+                .record_commit(entry.txn.generated, commit_round);
             self.committed_log.push((commit_round, txn));
         } else {
             self.collector.record_abort();
@@ -602,7 +622,14 @@ pub fn run_fds_line(
     adv: &AdversaryConfig,
     rounds: Round,
 ) -> RunReport {
-    run_fds(sys, map, adv, rounds, &LineMetric::new(sys.shards), FdsConfig::default())
+    run_fds(
+        sys,
+        map,
+        adv,
+        rounds,
+        &LineMetric::new(sys.shards),
+        FdsConfig::default(),
+    )
 }
 
 #[cfg(test)]
@@ -741,7 +768,10 @@ mod tests {
             &adv,
             Round(6000),
             &metric,
-            FdsConfig { reschedule: false, ..FdsConfig::default() },
+            FdsConfig {
+                reschedule: false,
+                ..FdsConfig::default()
+            },
         );
         // Both must make progress; rescheduling must not hurt resolution.
         assert!(on.resolution_rate() > 0.9, "{}", on.summary());
@@ -785,6 +815,10 @@ mod tests {
         let total: u64 = sim.ledgers().iter().map(|l| l.total()).sum();
         let baseline = sys.accounts as u64 * FdsConfig::default().initial_balance;
         let appended: usize = sim.chains().iter().map(|c| c.sub_count()).sum();
-        assert_eq!(total - baseline, appended as u64, "each committed subtxn adds exactly 1");
+        assert_eq!(
+            total - baseline,
+            appended as u64,
+            "each committed subtxn adds exactly 1"
+        );
     }
 }

@@ -78,7 +78,9 @@ pub fn check_cross_shard_order(
                 if a == b || !checked.insert((a, b)) {
                     continue;
                 }
-                let (Some(ta), Some(tb)) = (txns.get(&a), txns.get(&b)) else { continue };
+                let (Some(ta), Some(tb)) = (txns.get(&a), txns.get(&b)) else {
+                    continue;
+                };
                 if !ta.conflicts_with(tb) {
                     continue;
                 }
@@ -91,8 +93,7 @@ pub fn check_cross_shard_order(
                 let mut forward: Option<u32> = None;
                 let mut backward: Option<u32> = None;
                 for s in shared {
-                    let (Some(&pa), Some(&pb)) =
-                        (position.get(&(a, s)), position.get(&(b, s)))
+                    let (Some(&pa), Some(&pb)) = (position.get(&(a, s)), position.get(&(b, s)))
                     else {
                         continue;
                     };
@@ -264,7 +265,10 @@ mod tests {
         let mut sim = FdsSim::new(
             &sys,
             &map,
-            FdsConfig { pipeline_window: 1, ..FdsConfig::default() },
+            FdsConfig {
+                pipeline_window: 1,
+                ..FdsConfig::default()
+            },
             &metric,
         );
         let mut adv = Adversary::new(
@@ -287,6 +291,9 @@ mod tests {
             sim.step(batch);
         }
         let v = check_cross_shard_order(sim.chains(), &all);
-        assert!(v.is_empty(), "strict FDS must serialize consistently: {v:?}");
+        assert!(
+            v.is_empty(),
+            "strict FDS must serialize consistently: {v:?}"
+        );
     }
 }

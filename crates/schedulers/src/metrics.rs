@@ -1,7 +1,9 @@
 //! Per-run measurement report shared by every scheduler.
 
 use serde::{Deserialize, Serialize};
-use sharding_core::stats::{Histogram, RunningStats, StabilityDetector, StabilityVerdict, TimeSeries};
+use sharding_core::stats::{
+    Histogram, RunningStats, StabilityDetector, StabilityVerdict, TimeSeries,
+};
 use sharding_core::Round;
 
 /// Which scheduler produced a report.
@@ -132,7 +134,8 @@ impl MetricsCollector {
     /// the queue series records the per-home-shard average (the Figure 2
     /// left-panel quantity).
     pub fn sample_pending(&mut self, total_pending: u64) {
-        self.queue_series.push(total_pending as f64 / self.shards as f64);
+        self.queue_series
+            .push(total_pending as f64 / self.shards as f64);
         self.total_pending_max = self.total_pending_max.max(total_pending);
     }
 

@@ -59,7 +59,11 @@ pub fn max_triangular_p(s: usize) -> usize {
 pub fn theorem1_threshold(k: usize, s: usize) -> f64 {
     let a = 2.0 / (k as f64 + 1.0);
     let root = floor_sqrt(2 * s);
-    let b = if root == 0 { f64::INFINITY } else { 2.0 / root as f64 };
+    let b = if root == 0 {
+        f64::INFINITY
+    } else {
+        2.0 / root as f64
+    };
     a.max(b).min(1.0)
 }
 

@@ -66,17 +66,26 @@ impl SystemConfig {
     ///   `accounts >= 1` so transactions exist).
     pub fn validate(&self) -> Result<()> {
         if self.shards == 0 {
-            return Err(Error::InvalidConfig { reason: "shards must be >= 1".into() });
+            return Err(Error::InvalidConfig {
+                reason: "shards must be >= 1".into(),
+            });
         }
         if self.shards > u32::MAX as usize {
-            return Err(Error::InvalidConfig { reason: "shards must fit in u32".into() });
+            return Err(Error::InvalidConfig {
+                reason: "shards must fit in u32".into(),
+            });
         }
         if self.accounts == 0 {
-            return Err(Error::InvalidConfig { reason: "accounts must be >= 1".into() });
+            return Err(Error::InvalidConfig {
+                reason: "accounts must be >= 1".into(),
+            });
         }
         if self.k_max == 0 || self.k_max > self.shards {
             return Err(Error::InvalidConfig {
-                reason: format!("k must satisfy 1 <= k <= s, got k={} s={}", self.k_max, self.shards),
+                reason: format!(
+                    "k must satisfy 1 <= k <= s, got k={} s={}",
+                    self.k_max, self.shards
+                ),
             });
         }
         if self.nodes_per_shard <= 3 * self.faulty_per_shard {
@@ -145,7 +154,10 @@ impl AccountMap {
         for (a, &s) in slots.iter().enumerate() {
             per_shard[s.index()].push(AccountId(a as u64));
         }
-        AccountMap { owner: slots, per_shard }
+        AccountMap {
+            owner: slots,
+            per_shard,
+        }
     }
 
     /// Shard that owns `account`.
@@ -199,22 +211,39 @@ mod tests {
 
     #[test]
     fn rejects_zero_shards() {
-        let cfg = SystemConfig { shards: 0, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            shards: 0,
+            ..SystemConfig::tiny()
+        };
         assert!(matches!(cfg.validate(), Err(Error::InvalidConfig { .. })));
     }
 
     #[test]
     fn rejects_k_out_of_range() {
-        let cfg = SystemConfig { k_max: 5, shards: 4, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            k_max: 5,
+            shards: 4,
+            ..SystemConfig::tiny()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = SystemConfig { k_max: 0, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            k_max: 0,
+            ..SystemConfig::tiny()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn rejects_bft_violation() {
-        let cfg = SystemConfig { nodes_per_shard: 3, faulty_per_shard: 1, ..SystemConfig::tiny() };
-        assert!(matches!(cfg.validate(), Err(Error::InsufficientQuorum { .. })));
+        let cfg = SystemConfig {
+            nodes_per_shard: 3,
+            faulty_per_shard: 1,
+            ..SystemConfig::tiny()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(Error::InsufficientQuorum { .. })
+        ));
     }
 
     #[test]
@@ -247,7 +276,10 @@ mod tests {
     fn unknown_account_is_error() {
         let cfg = SystemConfig::tiny();
         let map = AccountMap::round_robin(&cfg);
-        assert_eq!(map.owner(AccountId(999)), Err(Error::UnknownAccount(AccountId(999))));
+        assert_eq!(
+            map.owner(AccountId(999)),
+            Err(Error::UnknownAccount(AccountId(999)))
+        );
     }
 
     #[test]

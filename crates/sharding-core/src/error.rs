@@ -65,15 +65,28 @@ impl fmt::Display for Error {
             Error::UnknownAccount(a) => write!(f, "unknown account {a}"),
             Error::UnknownShard(s) => write!(f, "unknown shard {s}"),
             Error::EmptyTransaction(t) => write!(f, "transaction {t} has no accesses"),
-            Error::TooManyShards { txn, touched, k_max } => write!(
+            Error::TooManyShards {
+                txn,
+                touched,
+                k_max,
+            } => write!(
                 f,
                 "transaction {txn} touches {touched} shards, exceeding k = {k_max}"
             ),
-            Error::InsufficientQuorum { shard, nodes, faulty } => write!(
+            Error::InsufficientQuorum {
+                shard,
+                nodes,
+                faulty,
+            } => write!(
                 f,
                 "shard {shard} has {nodes} nodes but {faulty} faulty; requires n > 3f"
             ),
-            Error::AdmissionViolation { shard, window, observed, budget } => write!(
+            Error::AdmissionViolation {
+                shard,
+                window,
+                observed,
+                budget,
+            } => write!(
                 f,
                 "adversary exceeded budget on {shard}: {observed} > {budget} over {window} rounds"
             ),
@@ -90,13 +103,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::TooManyShards { txn: TxnId(3), touched: 9, k_max: 8 };
+        let e = Error::TooManyShards {
+            txn: TxnId(3),
+            touched: 9,
+            k_max: 8,
+        };
         let msg = e.to_string();
         assert!(msg.contains("T3"));
         assert!(msg.contains('9'));
         assert!(msg.contains('8'));
 
-        let e = Error::InsufficientQuorum { shard: ShardId(1), nodes: 3, faulty: 1 };
+        let e = Error::InsufficientQuorum {
+            shard: ShardId(1),
+            nodes: 3,
+            faulty: 1,
+        };
         assert!(e.to_string().contains("n > 3f"));
     }
 

@@ -60,6 +60,10 @@ mod tests {
         assert_ne!(split_seed(42, 1), split_seed(43, 1));
         // Adjacent streams should not produce adjacent seeds.
         let d = split_seed(42, 0) ^ split_seed(42, 1);
-        assert!(d.count_ones() > 8, "avalanche: got {} differing bits", d.count_ones());
+        assert!(
+            d.count_ones() > 8,
+            "avalanche: got {} differing bits",
+            d.count_ones()
+        );
     }
 }

@@ -22,7 +22,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -114,7 +120,12 @@ impl Histogram {
     /// Histogram with `buckets` bins of `width` each.
     pub fn new(width: f64, buckets: usize) -> Self {
         assert!(width > 0.0 && buckets > 0);
-        Histogram { width, counts: vec![0; buckets], overflow: 0, total: 0 }
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one observation.
@@ -207,7 +218,10 @@ impl TimeSeries {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Least-squares slope of the series against its index (units per
@@ -263,7 +277,10 @@ pub struct StabilityDetector {
 
 impl Default for StabilityDetector {
     fn default() -> Self {
-        StabilityDetector { growth_ratio: 2.0, min_samples: 64 }
+        StabilityDetector {
+            growth_ratio: 2.0,
+            min_samples: 64,
+        }
     }
 }
 
@@ -375,7 +392,10 @@ mod tests {
         for i in 0..1000 {
             t.push(i as f64 * 0.5);
         }
-        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Unstable);
+        assert_eq!(
+            StabilityDetector::default().classify(&t),
+            StabilityVerdict::Unstable
+        );
     }
 
     #[test]
@@ -385,7 +405,10 @@ mod tests {
             // Oscillating but bounded.
             t.push(10.0 + (i as f64 * 0.7).sin() * 5.0);
         }
-        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Stable);
+        assert_eq!(
+            StabilityDetector::default().classify(&t),
+            StabilityVerdict::Stable
+        );
     }
 
     #[test]
@@ -395,13 +418,19 @@ mod tests {
             // A big initial burst that drains to zero: stable.
             t.push((500.0 - i as f64).max(0.0));
         }
-        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Stable);
+        assert_eq!(
+            StabilityDetector::default().classify(&t),
+            StabilityVerdict::Stable
+        );
     }
 
     #[test]
     fn detector_inconclusive_when_short() {
         let mut t = TimeSeries::new();
         t.push(1.0);
-        assert_eq!(StabilityDetector::default().classify(&t), StabilityVerdict::Inconclusive);
+        assert_eq!(
+            StabilityDetector::default().classify(&t),
+            StabilityVerdict::Inconclusive
+        );
     }
 }

@@ -124,21 +124,26 @@ impl Transaction {
 
     /// Approximate wire size in bytes (header plus all subtransactions).
     pub fn approx_bytes(&self) -> usize {
-        24 + self.subs.iter().map(SubTransaction::approx_bytes).sum::<usize>()
+        24 + self
+            .subs
+            .iter()
+            .map(SubTransaction::approx_bytes)
+            .sum::<usize>()
     }
 
     /// True when the transaction writes `account`.
     pub fn writes(&self, account: AccountId) -> bool {
         self.accesses
-            .binary_search(&Access { account, kind: AccessKind::Write })
+            .binary_search(&Access {
+                account,
+                kind: AccessKind::Write,
+            })
             .is_ok()
     }
 
     /// True when the transaction reads or writes `account`.
     pub fn touches(&self, account: AccountId) -> bool {
-        self.accesses
-            .iter()
-            .any(|a| a.account == account)
+        self.accesses.iter().any(|a| a.account == account)
     }
 
     /// The conflict predicate of Section 3: `self` and `other` conflict iff
@@ -213,12 +218,22 @@ pub struct TxnBuilder<'m> {
 impl<'m> TxnBuilder<'m> {
     /// Starts a transaction injected at `home` during `generated`.
     pub fn new(id: TxnId, home: ShardId, generated: Round, map: &'m AccountMap) -> Self {
-        TxnBuilder { id, home, generated, map, conditions: Vec::new(), actions: Vec::new() }
+        TxnBuilder {
+            id,
+            home,
+            generated,
+            map,
+            conditions: Vec::new(),
+            actions: Vec::new(),
+        }
     }
 
     /// Adds a condition check (a read).
     pub fn check(mut self, account: AccountId, min_balance: u64) -> Self {
-        self.conditions.push(Condition { account, min_balance });
+        self.conditions.push(Condition {
+            account,
+            min_balance,
+        });
         self
     }
 
@@ -245,7 +260,10 @@ impl<'m> TxnBuilder<'m> {
                 })
                 .conditions
                 .push(*c);
-            accesses.push(Access { account: c.account, kind: AccessKind::Read });
+            accesses.push(Access {
+                account: c.account,
+                kind: AccessKind::Read,
+            });
         }
         for a in &self.actions {
             let dest = self.map.owner(a.account)?;
@@ -259,7 +277,10 @@ impl<'m> TxnBuilder<'m> {
                 })
                 .actions
                 .push(*a);
-            accesses.push(Access { account: a.account, kind: AccessKind::Write });
+            accesses.push(Access {
+                account: a.account,
+                kind: AccessKind::Write,
+            });
         }
         if accesses.is_empty() {
             return Err(Error::EmptyTransaction(self.id));
@@ -323,7 +344,11 @@ mod tests {
     use crate::config::{AccountMap, SystemConfig};
 
     fn setup() -> (SystemConfig, AccountMap) {
-        let cfg = SystemConfig { shards: 4, accounts: 8, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            shards: 4,
+            accounts: 8,
+            ..SystemConfig::tiny()
+        };
         let map = AccountMap::round_robin(&cfg);
         (cfg, map)
     }
@@ -372,9 +397,30 @@ mod tests {
     #[test]
     fn write_write_conflict() {
         let (_, map) = setup();
-        let a = Transaction::writing_shards(TxnId(1), ShardId(0), Round::ZERO, &map, &[ShardId(0), ShardId(1)]).unwrap();
-        let b = Transaction::writing_shards(TxnId(2), ShardId(1), Round::ZERO, &map, &[ShardId(1), ShardId(2)]).unwrap();
-        let c = Transaction::writing_shards(TxnId(3), ShardId(2), Round::ZERO, &map, &[ShardId(2), ShardId(3)]).unwrap();
+        let a = Transaction::writing_shards(
+            TxnId(1),
+            ShardId(0),
+            Round::ZERO,
+            &map,
+            &[ShardId(0), ShardId(1)],
+        )
+        .unwrap();
+        let b = Transaction::writing_shards(
+            TxnId(2),
+            ShardId(1),
+            Round::ZERO,
+            &map,
+            &[ShardId(1), ShardId(2)],
+        )
+        .unwrap();
+        let c = Transaction::writing_shards(
+            TxnId(3),
+            ShardId(2),
+            Round::ZERO,
+            &map,
+            &[ShardId(2), ShardId(3)],
+        )
+        .unwrap();
         assert!(a.conflicts_with(&b), "share S1's account");
         assert!(b.conflicts_with(&a), "symmetric");
         assert!(!a.conflicts_with(&c), "disjoint shards");
@@ -437,8 +483,12 @@ mod tests {
     #[test]
     fn self_conflict_when_writing() {
         let (_, map) = setup();
-        let t = Transaction::writing_shards(TxnId(1), ShardId(0), Round::ZERO, &map, &[ShardId(0)]).unwrap();
-        assert!(t.conflicts_with(&t), "a writer conflicts with itself (used as sanity)");
+        let t = Transaction::writing_shards(TxnId(1), ShardId(0), Round::ZERO, &map, &[ShardId(0)])
+            .unwrap();
+        assert!(
+            t.conflicts_with(&t),
+            "a writer conflicts with itself (used as sanity)"
+        );
     }
 
     #[test]

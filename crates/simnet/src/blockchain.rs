@@ -104,7 +104,10 @@ impl LocalChain {
     /// during `round`. Panics on misrouted subtransactions (a scheduler
     /// routing bug) or an empty batch.
     pub fn append_block(&mut self, subs: Vec<SubTransaction>, round: Round) -> &Block {
-        assert!(!subs.is_empty(), "blocks must hold at least one subtransaction");
+        assert!(
+            !subs.is_empty(),
+            "blocks must hold at least one subtransaction"
+        );
         for s in &subs {
             assert_eq!(s.dest, self.shard, "subtransaction routed to wrong shard");
         }
@@ -113,7 +116,13 @@ impl LocalChain {
         let parent_hash = parent.hash;
         let hash = Block::compute_hash(height, parent_hash, &subs, round);
         self.subs += subs.len();
-        self.blocks.push(Block { height, parent: parent_hash, hash, subs, round });
+        self.blocks.push(Block {
+            height,
+            parent: parent_hash,
+            hash,
+            subs,
+            round,
+        });
         self.blocks.last().unwrap()
     }
 
@@ -140,7 +149,9 @@ impl LocalChain {
     /// Committed transaction ids in chain order (block order, then intra-
     /// block order).
     pub fn committed_txns(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.blocks.iter().flat_map(|b| b.subs.iter().map(|s| s.txn))
+        self.blocks
+            .iter()
+            .flat_map(|b| b.subs.iter().map(|s| s.txn))
     }
 
     /// Verifies hash links and height continuity for the whole chain.
@@ -191,7 +202,10 @@ mod tests {
             txn: TxnId(txn),
             dest: ShardId(dest),
             conditions: vec![],
-            actions: vec![Action { account: AccountId(dest as u64), delta: 1 }],
+            actions: vec![Action {
+                account: AccountId(dest as u64),
+                delta: 1,
+            }],
         }
     }
 

@@ -21,8 +21,11 @@ impl ShardLedger {
     /// Creates the ledger for `shard`, seeding every account the shard
     /// owns (per `map`) with `initial_balance`.
     pub fn new(shard: ShardId, map: &AccountMap, initial_balance: u64) -> Self {
-        let balances =
-            map.accounts_of(shard).iter().map(|&a| (a, initial_balance)).collect();
+        let balances = map
+            .accounts_of(shard)
+            .iter()
+            .map(|&a| (a, initial_balance))
+            .collect();
         ShardLedger { shard, balances }
     }
 
@@ -59,7 +62,9 @@ impl ShardLedger {
     pub fn actions_valid(&self, sub: &SubTransaction) -> bool {
         let mut scratch: BTreeMap<AccountId, i128> = BTreeMap::new();
         for a in &sub.actions {
-            let Some(base) = self.balance(a.account) else { return false };
+            let Some(base) = self.balance(a.account) else {
+                return false;
+            };
             let entry = scratch.entry(a.account).or_insert(base as i128);
             *entry += a.delta as i128;
             if *entry < 0 {
@@ -107,14 +112,23 @@ mod tests {
     use sharding_core::TxnId;
 
     fn setup() -> (AccountMap, ShardLedger) {
-        let cfg = SystemConfig { shards: 4, accounts: 8, ..SystemConfig::tiny() };
+        let cfg = SystemConfig {
+            shards: 4,
+            accounts: 8,
+            ..SystemConfig::tiny()
+        };
         let map = AccountMap::round_robin(&cfg);
         let ledger = ShardLedger::new(ShardId(0), &map, 1000);
         (map, ledger)
     }
 
     fn sub_with(conditions: Vec<Condition>, actions: Vec<Action>) -> SubTransaction {
-        SubTransaction { txn: TxnId(1), dest: ShardId(0), conditions, actions }
+        SubTransaction {
+            txn: TxnId(1),
+            dest: ShardId(0),
+            conditions,
+            actions,
+        }
     }
 
     #[test]
@@ -131,37 +145,77 @@ mod tests {
     #[test]
     fn condition_check() {
         let (_, ledger) = setup();
-        let ok = sub_with(vec![Condition { account: AccountId(0), min_balance: 1000 }], vec![]);
+        let ok = sub_with(
+            vec![Condition {
+                account: AccountId(0),
+                min_balance: 1000,
+            }],
+            vec![],
+        );
         assert!(ledger.check(&ok));
-        let too_high =
-            sub_with(vec![Condition { account: AccountId(0), min_balance: 1001 }], vec![]);
+        let too_high = sub_with(
+            vec![Condition {
+                account: AccountId(0),
+                min_balance: 1001,
+            }],
+            vec![],
+        );
         assert!(!ledger.check(&too_high));
-        let unknown =
-            sub_with(vec![Condition { account: AccountId(1), min_balance: 0 }], vec![]);
+        let unknown = sub_with(
+            vec![Condition {
+                account: AccountId(1),
+                min_balance: 0,
+            }],
+            vec![],
+        );
         assert!(!ledger.check(&unknown), "foreign account fails the vote");
     }
 
     #[test]
     fn action_validity_guards_underflow() {
         let (_, ledger) = setup();
-        let ok = sub_with(vec![], vec![Action { account: AccountId(0), delta: -1000 }]);
+        let ok = sub_with(
+            vec![],
+            vec![Action {
+                account: AccountId(0),
+                delta: -1000,
+            }],
+        );
         assert!(ledger.check(&ok));
-        let under = sub_with(vec![], vec![Action { account: AccountId(0), delta: -1001 }]);
+        let under = sub_with(
+            vec![],
+            vec![Action {
+                account: AccountId(0),
+                delta: -1001,
+            }],
+        );
         assert!(!ledger.check(&under));
         // Order matters: +500 then −1500 is fine; −1500 then +500 is not.
         let fine = sub_with(
             vec![],
             vec![
-                Action { account: AccountId(0), delta: 500 },
-                Action { account: AccountId(0), delta: -1500 },
+                Action {
+                    account: AccountId(0),
+                    delta: 500,
+                },
+                Action {
+                    account: AccountId(0),
+                    delta: -1500,
+                },
             ],
         );
         assert!(ledger.check(&fine));
         let bad = sub_with(
             vec![],
             vec![
-                Action { account: AccountId(0), delta: -1500 },
-                Action { account: AccountId(0), delta: 500 },
+                Action {
+                    account: AccountId(0),
+                    delta: -1500,
+                },
+                Action {
+                    account: AccountId(0),
+                    delta: 500,
+                },
             ],
         );
         assert!(!ledger.check(&bad));
@@ -173,8 +227,14 @@ mod tests {
         let s = sub_with(
             vec![],
             vec![
-                Action { account: AccountId(0), delta: -300 },
-                Action { account: AccountId(4), delta: 300 },
+                Action {
+                    account: AccountId(0),
+                    delta: -300,
+                },
+                Action {
+                    account: AccountId(4),
+                    delta: 300,
+                },
             ],
         );
         assert!(ledger.check(&s));
@@ -188,7 +248,13 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn apply_without_check_panics_on_underflow() {
         let (_, mut ledger) = setup();
-        let s = sub_with(vec![], vec![Action { account: AccountId(0), delta: -5000 }]);
+        let s = sub_with(
+            vec![],
+            vec![Action {
+                account: AccountId(0),
+                delta: -5000,
+            }],
+        );
         ledger.apply(&s);
     }
 }

@@ -106,7 +106,14 @@ impl<P> Network<P> {
         }
         let d = self.distance(from, to).max(1);
         let deliver_at = now.plus(d);
-        let env = Envelope { from, to, sent: now, deliver_at, seq: self.seq, payload };
+        let env = Envelope {
+            from,
+            to,
+            sent: now,
+            deliver_at,
+            seq: self.seq,
+            payload,
+        };
         self.seq += 1;
         self.sent_count += 1;
         self.in_flight.entry(deliver_at).or_default().push(env);

@@ -47,9 +47,17 @@ impl PbftShard {
     /// Creates the membership; rejects `n ≤ 3f`.
     pub fn new(shard: ShardId, nodes: usize, faulty: usize) -> Result<Self> {
         if nodes <= 3 * faulty {
-            return Err(Error::InsufficientQuorum { shard, nodes, faulty });
+            return Err(Error::InsufficientQuorum {
+                shard,
+                nodes,
+                faulty,
+            });
         }
-        Ok(PbftShard { shard, nodes, faulty })
+        Ok(PbftShard {
+            shard,
+            nodes,
+            faulty,
+        })
     }
 
     /// The shard this membership belongs to.
@@ -188,13 +196,19 @@ mod tests {
     #[test]
     fn decides_with_silent_faults() {
         let p = PbftShard::new(ShardId(0), 4, 1).unwrap();
-        assert_eq!(p.decide_with_faults(42, Vote::Silent), ConsensusOutcome::Decided(42));
+        assert_eq!(
+            p.decide_with_faults(42, Vote::Silent),
+            ConsensusOutcome::Decided(42)
+        );
     }
 
     #[test]
     fn decides_despite_equivocating_faults() {
         let p = PbftShard::new(ShardId(0), 7, 2).unwrap();
-        assert_eq!(p.decide_with_faults(7, Vote::For(999)), ConsensusOutcome::Decided(7));
+        assert_eq!(
+            p.decide_with_faults(7, Vote::For(999)),
+            ConsensusOutcome::Decided(7)
+        );
     }
 
     #[test]
@@ -233,7 +247,10 @@ mod tests {
         let b = PbftShard::new(ShardId(1), 4, 1).unwrap();
         let cs = ClusterSender { from: a, to: b };
         // One faulty sender, one faulty receiver — still one honest pair.
-        assert_eq!(cs.transmit(0xBEEF, &[false, true], &[true, false]), Some(0xBEEF));
+        assert_eq!(
+            cs.transmit(0xBEEF, &[false, true], &[true, false]),
+            Some(0xBEEF)
+        );
         // Everything honest.
         assert_eq!(cs.transmit(1, &[true, true], &[true, true]), Some(1));
         // Fault bounds violated: all senders faulty → no delivery.

@@ -21,7 +21,10 @@ fn main() {
     let rho = 0.05;
     let b = 300;
 
-    println!("DoS resilience of BDS: s=64, k=8, rho={rho}, b={b}, {} rounds\n", rounds.raw());
+    println!(
+        "DoS resilience of BDS: s=64, k=8, rho={rho}, b={b}, {} rounds\n",
+        rounds.raw()
+    );
     println!(
         "{:<22} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "attack", "committed", "pending", "avg queue", "avg latency", "verdict"
@@ -29,13 +32,22 @@ fn main() {
 
     let attacks: Vec<(&str, StrategyKind)> = vec![
         ("steady (control)", StrategyKind::UniformRandom),
-        ("burst train (p=500)", StrategyKind::BurstTrain { period: 500 }),
+        (
+            "burst train (p=500)",
+            StrategyKind::BurstTrain { period: 500 },
+        ),
         ("hot shard", StrategyKind::HotShard),
         ("pairwise conflicts", StrategyKind::PairwiseConflict),
     ];
 
     for (name, strategy) in attacks {
-        let adv = AdversaryConfig { rho, burstiness: b, strategy, seed: 11, ..Default::default() };
+        let adv = AdversaryConfig {
+            rho,
+            burstiness: b,
+            strategy,
+            seed: 11,
+            ..Default::default()
+        };
         let r = run_bds(&sys, &map, &adv, rounds);
         println!(
             "{:<22} {:>10} {:>10} {:>12.2} {:>12.1} {:>10}",

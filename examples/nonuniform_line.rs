@@ -12,9 +12,9 @@
 //! ```
 
 use blockshard::cluster::Hierarchy;
+use blockshard::core_types::{Transaction, TxnId};
 use blockshard::prelude::*;
 use blockshard::schedulers::fds::{FdsConfig, FdsSim};
-use blockshard::core_types::{Transaction, TxnId};
 
 fn main() {
     let sys = SystemConfig::paper_simulation();
@@ -23,7 +23,10 @@ fn main() {
 
     // Show the hierarchy: layers of geometrically growing clusters.
     let h = Hierarchy::build(&metric);
-    println!("Hierarchy over a {}-shard line (diameter {}):", sys.shards, 63);
+    println!(
+        "Hierarchy over a {}-shard line (diameter {}):",
+        sys.shards, 63
+    );
     for l in 0..h.num_layers() as u32 {
         let clusters = h.clusters(l, 0);
         println!(
@@ -37,7 +40,10 @@ fn main() {
     // Inject transactions of controlled access distance and measure
     // commit latency per distance class.
     println!("\nLatency vs access distance d (FDS, line metric):");
-    println!("{:>4} {:>8} {:>12} {:>14}", "d", "layer", "commits", "avg latency");
+    println!(
+        "{:>4} {:>8} {:>12} {:>14}",
+        "d", "layer", "commits", "avg latency"
+    );
     for d in [1u64, 2, 4, 8, 16, 32, 63] {
         let mut sim = FdsSim::new(&sys, &map, FdsConfig::default(), &metric);
         // Each of 20 transactions starts at shard 0 and writes the account
@@ -64,7 +70,10 @@ fn main() {
             sim.step(Vec::new());
         }
         let r = sim.finish();
-        println!("{:>4} {:>8} {:>9}/{:<2} {:>14.1}", d, layer, r.committed, injected, r.avg_latency);
+        println!(
+            "{:>4} {:>8} {:>9}/{:<2} {:>14.1}",
+            d, layer, r.committed, injected, r.avg_latency
+        );
     }
 
     println!(

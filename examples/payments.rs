@@ -13,17 +13,25 @@
 //! cargo run --release --example payments
 //! ```
 
-use blockshard::prelude::*;
 use blockshard::core_types::{AccountId, Transaction, TxnId};
+use blockshard::prelude::*;
 use blockshard::schedulers::bds::{BdsConfig, BdsSim};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 
 fn main() {
-    let sys = SystemConfig { shards: 16, accounts: 64, k_max: 4, ..SystemConfig::paper_simulation() };
+    let sys = SystemConfig {
+        shards: 16,
+        accounts: 64,
+        k_max: 4,
+        ..SystemConfig::paper_simulation()
+    };
     let map = AccountMap::random(&sys, 3);
     let initial = 1_000u64;
-    let bcfg = BdsConfig { initial_balance: initial, ..BdsConfig::default() };
+    let bcfg = BdsConfig {
+        initial_balance: initial,
+        ..BdsConfig::default()
+    };
     let mut sim = BdsSim::new(&sys, &map, bcfg);
     let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(99);
 
@@ -47,16 +55,8 @@ fn main() {
                 rng.gen_range(1..=50)
             };
             let home = ShardId(rng.gen_range(0..sys.shards as u32));
-            let t = Transaction::transfer(
-                TxnId(next_id),
-                home,
-                Round(r),
-                &map,
-                from,
-                to,
-                amount,
-            )
-            .unwrap();
+            let t = Transaction::transfer(TxnId(next_id), home, Round(r), &map, from, to, amount)
+                .unwrap();
             next_id += 1;
             batch.push(t);
         }
@@ -73,13 +73,19 @@ fn main() {
         assert!(c.verify(), "chain of {} must verify", c.shard());
     }
     let r = sim.finish();
-    println!("Payments over {} shards, {} accounts:", sys.shards, sys.accounts);
+    println!(
+        "Payments over {} shards, {} accounts:",
+        sys.shards, sys.accounts
+    );
     println!("  issued     : {}", next_id);
     println!("  committed  : {}", r.committed);
     println!("  aborted    : {} (insufficient funds)", r.aborted);
     println!("  avg latency: {:.1} rounds", r.avg_latency);
     println!("  total money: {total} (initial {expected})");
-    assert_eq!(total, expected, "atomic cross-shard transfers conserve balance");
+    assert_eq!(
+        total, expected,
+        "atomic cross-shard transfers conserve balance"
+    );
     assert!(r.aborted > 0, "poison transfers must abort");
     println!("\nConservation holds: every transfer either fully committed or fully aborted.");
 }

@@ -24,7 +24,10 @@ fn main() {
     };
     let rounds = Round(5_000);
 
-    println!("System: s={} accounts={} k={}", sys.shards, sys.accounts, sys.k_max);
+    println!(
+        "System: s={} accounts={} k={}",
+        sys.shards, sys.accounts, sys.k_max
+    );
     println!(
         "Adversary: rho={} b={} ({} rounds)\n",
         adv.rho,

@@ -8,8 +8,15 @@
 //! regenerates the paper's figures.
 //!
 //! This crate is a facade: it re-exports the workspace crates under stable
-//! module names. See `DESIGN.md` for the architecture and `EXPERIMENTS.md`
-//! for paper-vs-measured results.
+//! module names. See [README.md] for the project overview and quickstart,
+//! [DESIGN.md] for the architecture (crate graph, BDS epoch pipeline, FDS
+//! hierarchy and heights ordering), and [EXPERIMENTS.md] for
+//! paper-vs-measured results — all three live at the repo root and are
+//! also embedded under [`doc`] so the links work in generated rustdoc.
+//!
+//! [README.md]: crate::doc::readme
+//! [DESIGN.md]: crate::doc::design
+//! [EXPERIMENTS.md]: crate::doc::experiments
 //!
 //! ## Quickstart
 //!
@@ -30,6 +37,23 @@
 //! assert!(report.committed > 0);
 //! ```
 
+/// Rendered copies of the repo-root documentation files, so the crate-level
+/// links above resolve inside `cargo doc` output as well as on a forge.
+pub mod doc {
+    /// Project overview and quickstart (repo-root `README.md`).
+    #[doc = include_str!("../README.md")]
+    pub mod readme {}
+
+    /// Architecture: crate graph, BDS epoch pipeline, FDS hierarchy and
+    /// heights ordering (repo-root `DESIGN.md`).
+    #[doc = include_str!("../DESIGN.md")]
+    pub mod design {}
+
+    /// Paper-vs-measured results skeleton (repo-root `EXPERIMENTS.md`).
+    #[doc = include_str!("../EXPERIMENTS.md")]
+    pub mod experiments {}
+}
+
 pub use adversary;
 pub use cluster;
 pub use conflict;
@@ -45,8 +69,6 @@ pub mod prelude {
     pub use schedulers::{
         run_bds, run_bds_with_metric, run_fds, BdsConfig, FdsConfig, RunReport, SchedulerKind,
     };
-    pub use sharding_core::{
-        bounds, AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId,
-    };
     pub use sharding_core::stats::{StabilityDetector, StabilityVerdict};
+    pub use sharding_core::{bounds, AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 }

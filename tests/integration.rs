@@ -3,10 +3,10 @@
 //! would.
 
 use blockshard::adversary::{validate_trace, Adversary, TraceRecorder};
+use blockshard::core_types::{Transaction, TxnId};
 use blockshard::prelude::*;
 use blockshard::schedulers::bds::{BdsConfig, BdsSim};
 use blockshard::schedulers::fds::{run_fds_line, FdsConfig, FdsSim};
-use blockshard::core_types::{Transaction, TxnId};
 use std::collections::BTreeMap;
 
 fn paper_small() -> (SystemConfig, AccountMap) {
@@ -138,7 +138,15 @@ fn theorem1_pairwise_overload_saturates_fcfs_baseline() {
         seed: 3,
         ..Default::default()
     };
-    let r = run_fcfs(&sys, &map, &overload, Round(6000), FcfsConfig { respect_capacity: true });
+    let r = run_fcfs(
+        &sys,
+        &map,
+        &overload,
+        Round(6000),
+        FcfsConfig {
+            respect_capacity: true,
+        },
+    );
     assert_eq!(r.verdict, StabilityVerdict::Unstable, "{}", r.summary());
 
     let light = AdversaryConfig {
@@ -148,7 +156,15 @@ fn theorem1_pairwise_overload_saturates_fcfs_baseline() {
         seed: 3,
         ..Default::default()
     };
-    let r = run_fcfs(&sys, &map, &light, Round(6000), FcfsConfig { respect_capacity: true });
+    let r = run_fcfs(
+        &sys,
+        &map,
+        &light,
+        Round(6000),
+        FcfsConfig {
+            respect_capacity: true,
+        },
+    );
     assert_eq!(r.verdict, StabilityVerdict::Stable, "{}", r.summary());
 }
 
@@ -241,7 +257,10 @@ fn bds_transfers_conserve_total_balance_and_abort() {
     use blockshard::schedulers::bds::{BdsConfig, BdsSim};
     let (sys, map) = paper_small();
     let initial = 50u64;
-    let bcfg = BdsConfig { initial_balance: initial, ..BdsConfig::default() };
+    let bcfg = BdsConfig {
+        initial_balance: initial,
+        ..BdsConfig::default()
+    };
     let mut sim = BdsSim::new(&sys, &map, bcfg);
     let adv = AdversaryConfig {
         rho: 0.06,
@@ -270,10 +289,21 @@ fn bds_transfers_conserve_total_balance_and_abort() {
         .map(|a| a.delta)
         .sum();
     let expected = sys.accounts as i64 * initial as i64 + minted;
-    assert_eq!(total as i64, expected, "ledger total equals initial supply plus applied deltas");
+    assert_eq!(
+        total as i64, expected,
+        "ledger total equals initial supply plus applied deltas"
+    );
     let r = sim.finish();
-    assert!(r.aborted > 0, "oversized transfers must abort: {}", r.summary());
-    assert!(r.committed > 0, "small transfers must commit: {}", r.summary());
+    assert!(
+        r.aborted > 0,
+        "oversized transfers must abort: {}",
+        r.summary()
+    );
+    assert!(
+        r.committed > 0,
+        "small transfers must commit: {}",
+        r.summary()
+    );
 }
 
 #[test]
@@ -284,7 +314,11 @@ fn fds_strict_window_transfers_conserve() {
     use blockshard::schedulers::fds::{FdsConfig, FdsSim};
     let (sys, map) = paper_small();
     let metric = LineMetric::new(sys.shards);
-    let fcfg = FdsConfig { pipeline_window: 1, initial_balance: 50, ..FdsConfig::default() };
+    let fcfg = FdsConfig {
+        pipeline_window: 1,
+        initial_balance: 50,
+        ..FdsConfig::default()
+    };
     let mut sim = FdsSim::new(&sys, &map, fcfg, &metric);
     let adv = AdversaryConfig {
         rho: 0.01,

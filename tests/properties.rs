@@ -22,8 +22,12 @@ fn arb_txns(sys: SystemConfig) -> impl Strategy<Value = (SystemConfig, Vec<Vec<u
     let s = sys.shards as u32;
     let k = sys.k_max;
     let set = proptest::collection::btree_set(0..s, 1..=k);
-    proptest::collection::vec(set, 0..40)
-        .prop_map(move |sets| (sys.clone(), sets.into_iter().map(|x| x.into_iter().collect()).collect()))
+    proptest::collection::vec(set, 0..40).prop_map(move |sets| {
+        (
+            sys.clone(),
+            sets.into_iter().map(|x| x.into_iter().collect()).collect(),
+        )
+    })
 }
 
 fn build_txns(sys: &SystemConfig, sets: &[Vec<u32>]) -> (AccountMap, Vec<Transaction>) {

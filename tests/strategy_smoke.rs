@@ -1,0 +1,131 @@
+//! Smoke test over the adversary↔scheduler seam: every `StrategyKind`
+//! variant must drive a short BDS run without panicking, keep its
+//! transaction accounting consistent, and stay inside its own `(ρ, b)`
+//! admission envelope.
+
+use blockshard::adversary::{validate_trace, Adversary, TraceRecorder};
+use blockshard::prelude::*;
+
+/// One representative instantiation of every `StrategyKind` variant.
+/// Extending the enum without extending this list is caught by the
+/// exhaustiveness check in `all_variants_covered`.
+fn all_strategies() -> Vec<(&'static str, StrategyKind)> {
+    vec![
+        ("uniform_random", StrategyKind::UniformRandom),
+        (
+            "single_burst",
+            StrategyKind::SingleBurst { burst_round: 30 },
+        ),
+        ("pairwise_conflict", StrategyKind::PairwiseConflict),
+        ("hot_shard", StrategyKind::HotShard),
+        ("burst_train", StrategyKind::BurstTrain { period: 25 }),
+        (
+            "count_burst",
+            StrategyKind::CountBurst {
+                burst_round: 40,
+                count: 12,
+            },
+        ),
+        ("zipf", StrategyKind::Zipf { exponent: 1.0 }),
+    ]
+}
+
+/// Total number of `StrategyKind` variants. Keep in sync with the match in
+/// `variant_bit` directly below — adding a variant breaks that match at
+/// compile time, and the new arm's bit index forces this constant up, which
+/// in turn makes `all_variants_covered` fail until `all_strategies` gains
+/// the new variant.
+const VARIANT_TOTAL: u32 = 7;
+
+fn variant_bit(kind: &StrategyKind) -> u32 {
+    match kind {
+        StrategyKind::UniformRandom => 0,
+        StrategyKind::SingleBurst { .. } => 1,
+        StrategyKind::PairwiseConflict => 2,
+        StrategyKind::HotShard => 3,
+        StrategyKind::BurstTrain { .. } => 4,
+        StrategyKind::CountBurst { .. } => 5,
+        StrategyKind::Zipf { .. } => 6,
+    }
+}
+
+#[test]
+fn all_variants_covered() {
+    let mut mask = 0u32;
+    for (_, kind) in all_strategies() {
+        mask |= 1 << variant_bit(&kind);
+    }
+    assert_eq!(
+        mask,
+        (1 << VARIANT_TOTAL) - 1,
+        "all_strategies() must instantiate every StrategyKind variant"
+    );
+}
+
+#[test]
+fn every_strategy_runs_bds_without_panicking() {
+    let sys = SystemConfig {
+        shards: 12,
+        accounts: 12,
+        k_max: 4,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::round_robin(&sys);
+    for (name, strategy) in all_strategies() {
+        let workload = AdversaryConfig {
+            rho: 0.10,
+            burstiness: 16,
+            strategy,
+            seed: 42,
+            ..Default::default()
+        };
+        let report = run_bds(&sys, &map, &workload, Round(100));
+
+        assert_eq!(report.rounds, 100, "{name}: wrong round count");
+        assert!(
+            report.committed + report.aborted + report.pending_at_end <= report.generated,
+            "{name}: accounting leak (committed={} aborted={} pending={} generated={})",
+            report.committed,
+            report.aborted,
+            report.pending_at_end,
+            report.generated,
+        );
+        // Every strategy must actually inject something at rho=0.1 over 100
+        // rounds on 12 shards, and BDS must make progress on it.
+        assert!(report.generated > 0, "{name}: adversary generated nothing");
+        assert!(
+            report.committed > 0,
+            "{name}: BDS committed nothing out of {} generated",
+            report.generated
+        );
+    }
+}
+
+#[test]
+fn every_strategy_respects_its_envelope() {
+    let sys = SystemConfig {
+        shards: 12,
+        accounts: 12,
+        k_max: 4,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::round_robin(&sys);
+    for (name, strategy) in all_strategies() {
+        let cfg = AdversaryConfig {
+            rho: 0.10,
+            burstiness: 16,
+            strategy,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut adv = Adversary::new(&sys, &map, cfg);
+        let mut rec = TraceRecorder::new(sys.shards);
+        for r in 0..100u64 {
+            rec.record_round(adv.generate(Round(r)).iter());
+        }
+        validate_trace(&rec, cfg.rho, cfg.burstiness)
+            .unwrap_or_else(|e| panic!("{name}: trace violates (rho, b): {e:?}"));
+    }
+}

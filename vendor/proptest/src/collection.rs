@@ -1,0 +1,18 @@
+//! Collection strategies (`vec`, `btree_set`), mirroring
+//! `proptest::collection`.
+
+use crate::{btree_set_strategy, vec_strategy, BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+/// Strategy for vectors of `elem` with length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    vec_strategy(elem, size.into())
+}
+
+/// Strategy for ordered sets of `elem` with cardinality drawn from `size`
+/// (best-effort when the element domain is smaller than the requested size).
+pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    btree_set_strategy(elem, size.into())
+}

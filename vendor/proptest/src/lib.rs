@@ -1,0 +1,385 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest):
+//! the `proptest! { fn t(x in strategy) { .. } }` macro, range/tuple/
+//! collection strategies, `prop_map`/`prop_flat_map`, and `prop_assert*`.
+//!
+//! Differences from real proptest, by design of the stub:
+//!
+//! * inputs are sampled uniformly at random from a ChaCha12 stream seeded
+//!   deterministically per test name — runs are reproducible, but there is
+//!   **no shrinking**: on failure the harness prints the failing case index
+//!   to stderr and re-raises the panic; the inputs themselves are recovered
+//!   by re-running (sampling is deterministic, and `PROPTEST_SEED` perturbs
+//!   it for exploration);
+//! * `prop_assert!` maps to `assert!` (panics instead of returning `Err`);
+//! * strategies are sampled, never enumerated, so `ProptestConfig::cases`
+//!   is the exact number of cases run.
+//!
+//! See `vendor/README.md` for the swap-back procedure.
+
+#![forbid(unsafe_code)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng as _;
+use rand_chacha::rand_core::SeedableRng as _;
+
+pub mod collection;
+
+/// The RNG driving all sampling.
+pub type TestRng = rand_chacha::ChaCha12Rng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run exactly `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Build the deterministic per-test RNG. Seeded from the test's name (and
+/// the optional `PROPTEST_SEED` environment variable for ad-hoc exploration).
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+        extra.hash(&mut hasher);
+    }
+    TestRng::seed_from_u64(hasher.finish())
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a pure function.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to pick a dependent strategy.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T: Clone> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: Clone> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A fixed value used as a strategy (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Sample one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Inclusive bounds on generated collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest allowed size.
+    pub lo: usize,
+    /// Largest allowed size.
+    pub hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+fn sample_size(range: SizeRange, rng: &mut TestRng) -> usize {
+    rng.gen_range(range.lo..=range.hi)
+}
+
+/// Strategy for `Vec<S::Value>` (returned by [`collection::vec`]).
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = sample_size(self.size, rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` (returned by [`collection::btree_set`]).
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = sample_size(self.size, rng);
+        let mut set = BTreeSet::new();
+        // Distinctness may be impossible if the element domain is smaller
+        // than n; cap the attempts so sampling always terminates.
+        let mut attempts = 0usize;
+        while set.len() < n && attempts < 20 * n + 100 {
+            set.insert(self.elem.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+pub(crate) fn vec_strategy<S: Strategy>(elem: S, size: SizeRange) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+pub(crate) fn btree_set_strategy<S: Strategy>(elem: S, size: SizeRange) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { elem, size }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property (stub: panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property (stub: panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property (stub: panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a test running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $( let $pat = $crate::Strategy::sample(&($strategy), &mut rng); )*
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "[proptest stub] property `{}` failed on case {}/{} \
+                         (deterministic per-test seed: re-running reproduces \
+                         the same inputs)",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(16))]
+        #[test]
+        fn samples_stay_in_range(x in 5u32..10, scale in crate::any::<bool>()) {
+            crate::prop_assert!((5..10).contains(&x));
+            let doubled = if scale { x * 2 } else { x };
+            crate::prop_assert!(doubled >= x);
+        }
+
+        #[test]
+        #[should_panic]
+        fn failing_property_reports_case_and_panics(x in 0u32..10) {
+            crate::prop_assert!(x > 100, "x={x} can never exceed 100");
+        }
+    }
+}

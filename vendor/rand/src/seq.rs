@@ -1,0 +1,61 @@
+//! Slice sampling and shuffling (the subset of `rand::seq` the workspace
+//! uses: `shuffle`, `partial_shuffle`, `choose`).
+
+use crate::RngCore;
+
+fn index_below<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    (rng.next_u64() % bound as u64) as usize
+}
+
+/// Extension trait on slices for random sampling and shuffling.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Return one uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle of the whole slice, in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffle only `amount` elements into the front of the slice; returns
+    /// `(shuffled_prefix, rest)`. The prefix is a uniform sample of distinct
+    /// elements in uniform order.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[index_below(rng, self.len())])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, index_below(rng, i + 1));
+        }
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = i + index_below(rng, self.len() - i);
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+}

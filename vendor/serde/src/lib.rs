@@ -1,0 +1,19 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! a real serialization backend can be dropped in later, but no code path
+//! currently *calls* serialization (experiment output is plain CSV). Until
+//! the real crate is available, these are marker traits and the derive
+//! macros emit empty impls — enough to keep every `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(skip)]` annotation compiling unchanged.
+//! See `vendor/README.md` for the swap-back procedure.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,58 @@
+//! Derive macros for the vendored `serde` stub. The stub's `Serialize` /
+//! `Deserialize` are marker traits, so the derives only need to emit empty
+//! impls — no `syn`/`quote` required. `#[serde(...)]` field attributes are
+//! registered as helper attributes and ignored. Generic types are rejected
+//! with a clear error (the workspace derives these traits only on concrete
+//! types). See `vendor/README.md`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name from a `struct`/`enum`/`union` item, erroring on
+/// generic parameters.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name after `{kw}`, got {other:?}")),
+                };
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    return Err(format!(
+                        "the vendored serde stub cannot derive for generic type `{name}`; \
+                         write the marker impl by hand or extend vendor/serde_derive"
+                    ));
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("no struct/enum/union found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, template: fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error tokens parse"),
+    }
+}
+
+/// Derive the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derive the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
