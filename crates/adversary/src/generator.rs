@@ -30,6 +30,44 @@ pub enum WorkloadShape {
     ReadMostly,
 }
 
+impl std::fmt::Display for WorkloadShape {
+    /// Renders the scenario-file spelling; round-trips through
+    /// `WorkloadShape::from_str`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadShape::WriteOnly => write!(f, "write-only"),
+            WorkloadShape::Transfers { amount_max } => write!(f, "transfers:{amount_max}"),
+            WorkloadShape::ReadMostly => write!(f, "read-mostly"),
+        }
+    }
+}
+
+impl std::str::FromStr for WorkloadShape {
+    type Err = String;
+
+    /// Parses the scenario-file spelling: `write-only`, `transfers:MAX`,
+    /// `read-mostly`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.split_once(':') {
+            None => match s {
+                "write-only" => Ok(WorkloadShape::WriteOnly),
+                "read-mostly" => Ok(WorkloadShape::ReadMostly),
+                other => Err(format!(
+                    "unknown workload shape `{other}` (expected write-only, transfers:MAX, or \
+                     read-mostly)"
+                )),
+            },
+            Some(("transfers", max)) => {
+                let amount_max: u64 = max
+                    .parse()
+                    .map_err(|_| format!("`{max}` is not an integer"))?;
+                Ok(WorkloadShape::Transfers { amount_max })
+            }
+            Some((other, _)) => Err(format!("workload shape `{other}` takes no `:`-argument")),
+        }
+    }
+}
+
 /// Parameters of the adversarial source.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdversaryConfig {
@@ -193,6 +231,25 @@ mod tests {
         let mut adv = Adversary::new(&cfg, &map, acfg);
         let trace: Vec<Vec<Transaction>> = (0..rounds).map(|r| adv.generate(Round(r))).collect();
         (cfg, trace)
+    }
+
+    #[test]
+    fn shape_display_roundtrips_through_from_str() {
+        for shape in [
+            WorkloadShape::WriteOnly,
+            WorkloadShape::Transfers { amount_max: 100 },
+            WorkloadShape::ReadMostly,
+        ] {
+            let spelled = shape.to_string();
+            assert_eq!(
+                spelled.parse::<WorkloadShape>().unwrap(),
+                shape,
+                "{spelled}"
+            );
+        }
+        for bad in ["", "writes", "transfers", "transfers:x", "read-mostly:1"] {
+            assert!(bad.parse::<WorkloadShape>().is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

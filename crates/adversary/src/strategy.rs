@@ -70,6 +70,95 @@ pub enum StrategyKind {
     },
 }
 
+impl std::fmt::Display for StrategyKind {
+    /// Renders the scenario-file spelling of the strategy; the output
+    /// round-trips through `StrategyKind::from_str`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyKind::UniformRandom => write!(f, "uniform"),
+            StrategyKind::SingleBurst { burst_round } => write!(f, "single-burst:{burst_round}"),
+            StrategyKind::PairwiseConflict => write!(f, "pairwise"),
+            StrategyKind::HotShard => write!(f, "hot-shard"),
+            StrategyKind::BurstTrain { period } => write!(f, "burst-train:{period}"),
+            StrategyKind::CountBurst { burst_round, count } => {
+                write!(f, "count-burst:{burst_round}:{count}")
+            }
+            StrategyKind::Zipf { exponent } => write!(f, "zipf:{exponent}"),
+        }
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    /// Parses the scenario-file spelling: `uniform`, `single-burst:R`,
+    /// `pairwise`, `hot-shard`, `burst-train:P`, `count-burst:R:C`,
+    /// `zipf:E`. Context-dependent spellings (`count-burst:auto`) are
+    /// resolved by the scenario layer, not here.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        let arity = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "strategy `{head}` takes {n} `:`-argument(s), got {}",
+                    args.len()
+                ))
+            }
+        };
+        let int = |a: &str| -> Result<u64, String> {
+            a.parse().map_err(|_| format!("`{a}` is not an integer"))
+        };
+        match head {
+            "uniform" | "uniform-random" => {
+                arity(0)?;
+                Ok(StrategyKind::UniformRandom)
+            }
+            "single-burst" => {
+                arity(1)?;
+                Ok(StrategyKind::SingleBurst {
+                    burst_round: int(args[0])?,
+                })
+            }
+            "pairwise" | "pairwise-conflict" => {
+                arity(0)?;
+                Ok(StrategyKind::PairwiseConflict)
+            }
+            "hot-shard" => {
+                arity(0)?;
+                Ok(StrategyKind::HotShard)
+            }
+            "burst-train" => {
+                arity(1)?;
+                Ok(StrategyKind::BurstTrain {
+                    period: int(args[0])?,
+                })
+            }
+            "count-burst" => {
+                arity(2)?;
+                Ok(StrategyKind::CountBurst {
+                    burst_round: int(args[0])?,
+                    count: int(args[1])?,
+                })
+            }
+            "zipf" => {
+                arity(1)?;
+                let exponent: f64 = args[0]
+                    .parse()
+                    .map_err(|_| format!("`{}` is not a number", args[0]))?;
+                Ok(StrategyKind::Zipf { exponent })
+            }
+            other => Err(format!(
+                "unknown strategy `{other}` (expected uniform, single-burst:R, pairwise, \
+                 hot-shard, burst-train:P, count-burst:R:C, or zipf:E)"
+            )),
+        }
+    }
+}
+
 /// A candidate transaction proposal: the distinct shards it will write.
 pub(crate) type Proposal = Vec<ShardId>;
 
@@ -301,6 +390,39 @@ pub(crate) fn random_shard_set(cfg: &SystemConfig, rng: &mut Rng) -> Proposal {
 mod tests {
     use super::*;
     use sharding_core::rngutil::seeded_rng;
+
+    #[test]
+    fn strategy_display_roundtrips_through_from_str() {
+        for kind in [
+            StrategyKind::UniformRandom,
+            StrategyKind::SingleBurst { burst_round: 7 },
+            StrategyKind::PairwiseConflict,
+            StrategyKind::HotShard,
+            StrategyKind::BurstTrain { period: 100 },
+            StrategyKind::CountBurst {
+                burst_round: 250,
+                count: 1000,
+            },
+            StrategyKind::Zipf { exponent: 1.2 },
+        ] {
+            let spelled = kind.to_string();
+            assert_eq!(spelled.parse::<StrategyKind>().unwrap(), kind, "{spelled}");
+        }
+    }
+
+    #[test]
+    fn strategy_from_str_rejects_malformed() {
+        for bad in [
+            "",
+            "wat",
+            "single-burst",
+            "count-burst:5",
+            "zipf:fast",
+            "uniform:1",
+        ] {
+            assert!(bad.parse::<StrategyKind>().is_err(), "{bad:?} should fail");
+        }
+    }
 
     #[test]
     fn pairwise_group_every_pair_shares_unique_shard() {

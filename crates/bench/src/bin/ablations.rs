@@ -1,30 +1,27 @@
 //! Ablation studies for the design choices DESIGN.md calls out:
 //!
-//! 1. **Leader rotation** (BDS): rotating vs fixed leader — the paper
-//!    rotates "to ensure fair load balancing"; throughput should be
-//!    unaffected in the simulator (the leader is not a bottleneck there),
-//!    message load distribution is.
-//! 2. **Coloring algorithm**: greedy (paper) vs DSATUR vs heavy/light —
-//!    fewer colors shorten epochs and cut latency.
+//! 1. **Leader rotation** (BDS): rotating vs fixed leader.
+//! 2. **Coloring algorithm**: greedy (paper) vs DSATUR vs heavy/light.
 //! 3. **FDS rescheduling periods**: on (paper) vs off.
 //! 4. **FDS pipeline window** `W`: strict Algorithm 2b (`W = 1`) vs the
-//!    default 16 vs effectively unbounded.
+//!    default 16 vs wider — with the cross-shard order checker on.
 //! 5. **FDS sublayers** `H2`: 1 vs 2 (paper) vs 4.
+//!
+//! Each study is a checked-in scenario file (`scenarios/ablation_*`); this
+//! binary runs the five through the engine and prints one table per study.
+//! Any single study also runs standalone, e.g.
+//! `blockshard run scenarios/ablation_window.scenario`.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin ablations
 //! ```
 
-use adversary::AdversaryConfig;
-use bench::{paper_workload, Opts};
-use cluster::LineMetric;
-use conflict::ColoringStrategy;
-use schedulers::bds::{run_bds_with_metric, BdsConfig};
-use schedulers::fds::{run_fds, FdsConfig};
-use schedulers::RunReport;
-use sharding_core::{bounds, AccountMap, Round, SystemConfig};
+use scenario::cli::{load_or_exit, BinArgs};
+use scenario::JobOutcome;
+use std::path::Path;
 
-fn row(name: &str, r: &RunReport) {
+fn row(name: &str, o: &JobOutcome) {
+    let r = &o.report;
     println!(
         "{:<34} {:>9} {:>9} {:>11.2} {:>11.1} {:>9} {:>10}",
         name,
@@ -46,134 +43,43 @@ fn header(title: &str) {
 }
 
 fn main() {
-    let opts = Opts::parse(6_000);
-    let sys = SystemConfig::paper_simulation();
-    let map = AccountMap::random(&sys, 1);
-    let adv: AdversaryConfig = paper_workload(0.12, 1000, 42, opts.rounds);
-    let rounds = Round(opts.rounds);
-    let uniform = cluster::UniformMetric::new(sys.shards);
-    let line = LineMetric::new(sys.shards);
-
-    header("1. BDS leader rotation (uniform, rho=0.12, b=1000)");
-    for (name, rotate) in [
-        ("rotating leader (paper)", true),
-        ("fixed leader S0", false),
-    ] {
-        let r = run_bds_with_metric(
-            &sys,
-            &map,
-            &adv,
-            rounds,
-            &uniform,
-            BdsConfig {
-                rotate_leader: rotate,
-                ..BdsConfig::default()
-            },
-        );
-        row(name, &r);
-    }
-
-    header("2. BDS coloring algorithm (uniform, rho=0.12, b=1000)");
-    let threshold = bounds::ceil_sqrt(sys.shards);
-    for (name, coloring) in [
-        ("greedy first-fit (paper)", ColoringStrategy::Greedy),
-        ("DSATUR", ColoringStrategy::Dsatur),
+    let args = BinArgs::parse();
+    // (file, per-variant paper annotations, keyed by the grid label)
+    let studies: [(&str, &[(&str, &str)]); 5] = [
+        ("ablation_rotation", &[("rotate-leader=true", " (paper)")]),
+        ("ablation_coloring", &[("coloring=greedy", " (paper)")]),
+        ("ablation_resched", &[("reschedule=true", " (paper)")]),
         (
-            "heavy/light split (Lemma 1)",
-            ColoringStrategy::HeavyLight { threshold },
+            "ablation_window",
+            &[
+                ("pipeline-window=1", " (strict Alg. 2b)"),
+                ("pipeline-window=16", " (default)"),
+            ],
         ),
-    ] {
-        let r = run_bds_with_metric(
-            &sys,
-            &map,
-            &adv,
-            rounds,
-            &uniform,
-            BdsConfig {
-                coloring,
-                ..BdsConfig::default()
-            },
-        );
-        row(name, &r);
-    }
+        ("ablation_sublayers", &[("sublayers=2", " (paper)")]),
+    ];
 
-    header("3. FDS rescheduling periods (line, rho=0.12, b=1000)");
-    for (name, reschedule) in [
-        ("rescheduling on (paper)", true),
-        ("rescheduling off", false),
-    ] {
-        let r = run_fds(
-            &sys,
-            &map,
-            &adv,
-            rounds,
-            &line,
-            FdsConfig {
-                reschedule,
-                ..FdsConfig::default()
-            },
-        );
-        row(name, &r);
-    }
-
-    header("4. FDS vote pipeline window W (line, rho=0.12, b=1000)");
-    println!("(`viol` = cross-shard serialization-order violations, see schedulers::history)");
-    for w in [1usize, 4, 16, 64] {
-        use adversary::Adversary;
-        use schedulers::fds::FdsSim;
-        use schedulers::history::check_cross_shard_order;
-        let mut sim = FdsSim::new(
-            &sys,
-            &map,
-            FdsConfig {
-                pipeline_window: w,
-                ..FdsConfig::default()
-            },
-            &line,
-        );
-        let mut adversary = Adversary::new(&sys, &map, adv);
-        let mut all = std::collections::BTreeMap::new();
-        for r in 0..opts.rounds {
-            let batch = adversary.generate(Round(r));
-            for t in &batch {
-                all.insert(t.id, t.clone());
-            }
-            sim.step(batch);
+    for (file, notes) in studies {
+        let scenario = load_or_exit(Path::new(&format!("scenarios/{file}.scenario")));
+        let outcomes = args.execute(&scenario);
+        header(&scenario.description);
+        if outcomes.iter().any(|o| o.violations.is_some()) {
+            println!(
+                "(`viol` = cross-shard serialization-order violations, see schedulers::history)"
+            );
         }
-        let violations = check_cross_shard_order(sim.chains(), &all);
-        let r = sim.finish();
-        row(
-            &format!(
-                "W = {w}{} viol={}",
-                if w == 1 {
-                    " (strict Alg. 2b)"
-                } else if w == 16 {
-                    " (default)"
-                } else {
-                    ""
-                },
-                violations.len()
-            ),
-            &r,
-        );
-    }
-
-    header("5. FDS sublayers H2 (line, rho=0.12, b=1000)");
-    for h2 in [1usize, 2, 4] {
-        let r = run_fds(
-            &sys,
-            &map,
-            &adv,
-            rounds,
-            &line,
-            FdsConfig {
-                sublayers: h2,
-                ..FdsConfig::default()
-            },
-        );
-        row(
-            &format!("H2 = {h2}{}", if h2 == 2 { " (paper)" } else { "" }),
-            &r,
-        );
+        for o in &outcomes {
+            let label = o.spec.label();
+            let note = notes
+                .iter()
+                .find(|(key, _)| *key == label)
+                .map(|(_, n)| *n)
+                .unwrap_or("");
+            let name = match o.violations {
+                Some(v) => format!("{label}{note} viol={v}"),
+                None => format!("{label}{note}"),
+            };
+            row(&name, o);
+        }
     }
 }

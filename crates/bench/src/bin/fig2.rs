@@ -1,30 +1,48 @@
 //! Regenerates **Figure 2** of the paper: Algorithm 1 (BDS) on the uniform
 //! model, `s = 64`, one account per shard, `k = 8`.
 //!
-//! Left panel: average pending transactions per home shard vs ρ (bars per
-//! burstiness b). Right panel: average transaction latency (rounds) vs ρ.
+//! A thin wrapper over the scenario engine: the grid lives in
+//! `scenarios/fig2_quick.scenario` / `scenarios/fig2_full.scenario`, runs
+//! on a worker pool, and this binary only renders the ASCII panels and
+//! the paper checkpoints.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig2            # quick grid
 //! cargo run --release -p bench --bin fig2 -- --full  # paper grid, 25k rounds
 //! ```
+//!
+//! Also accepts `--rounds N`, `--out DIR`, `--threads N`. Equivalent to
+//! `blockshard run scenarios/fig2_quick.scenario` plus the rendering.
 
-use bench::{ascii_bars, ascii_table, sweep_bds, write_csv, Opts};
-use sharding_core::{AccountMap, SystemConfig};
+use bench::{ascii_bars, ascii_table, Cell};
+use scenario::cli::BinArgs;
+use scenario::report;
 
 fn main() {
-    let opts = Opts::parse(8_000);
-    let sys = SystemConfig::paper_simulation();
-    let map = AccountMap::random(&sys, 1);
+    let args = BinArgs::parse();
+    let scenario = args.load_variant("fig2");
     eprintln!(
-        "Figure 2 sweep: BDS, uniform model, s=64, k=8, {} rounds, rho {:?}, b {:?}",
-        opts.rounds,
-        opts.rho_grid(),
-        opts.b_grid()
+        "Figure 2 sweep: BDS, uniform model, s=64, k=8 ({})",
+        scenario.description
     );
+    let outcomes = args.execute(&scenario);
 
-    let cells = sweep_bds(&sys, &map, &opts);
-    write_csv(&opts.out.join("fig2.csv"), &cells).expect("write fig2.csv");
+    let csv = args.out.join(format!("{}.csv", scenario.name));
+    report::write_report(&csv, &report::csv_string(&outcomes)).expect("write fig2 csv");
+    report::write_report(
+        &args.out.join(format!("{}.jsonl", scenario.name)),
+        &report::jsonl_string(&outcomes),
+    )
+    .expect("write fig2 jsonl");
+
+    let cells: Vec<Cell> = outcomes
+        .iter()
+        .map(|o| Cell {
+            rho: o.spec.rho,
+            b: o.spec.b,
+            report: o.report.clone(),
+        })
+        .collect();
 
     println!(
         "\n{}",
@@ -64,5 +82,5 @@ fn main() {
             (h / l.max(1e-9)) as u64
         );
     }
-    println!("CSV written to {}", opts.out.join("fig2.csv").display());
+    println!("CSV written to {}", csv.display());
 }

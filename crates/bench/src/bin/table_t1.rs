@@ -1,32 +1,25 @@
 //! **Bound table T1** — Theorem 1 (absolute stability upper bound).
 //!
-//! No scheduler can be stable when `ρ > max{2/(k+1), 2/⌊√(2s)⌋}`. We
-//! demonstrate with the pairwise-conflict construction from the proof
-//! (groups of `p+1` transactions, every pair sharing a dedicated shard)
-//! against both the idealized FCFS baseline and BDS, at rates below and
-//! above the threshold.
+//! No scheduler can be stable when `ρ > max{2/(k+1), 2/⌊√(2s)⌋}`. The
+//! sweep — the pairwise-conflict construction from the proof against both
+//! the idealized FCFS baseline and BDS, at rates below and above the
+//! threshold — lives in `scenarios/table_t1.scenario`; this binary just
+//! renders the comparison table.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin table_t1
 //! ```
 
-use adversary::{AdversaryConfig, StrategyKind};
-use bench::Opts;
-use schedulers::baseline::{run_fcfs, FcfsConfig};
-use schedulers::bds::run_bds;
+use scenario::cli::{load_or_exit, BinArgs};
+use schedulers::SchedulerKind;
 use sharding_core::bounds;
-use sharding_core::{AccountMap, Round, SystemConfig};
+use std::path::Path;
 
 fn main() {
-    let opts = Opts::parse(8_000);
-    let sys = SystemConfig {
-        shards: 16,
-        accounts: 16,
-        k_max: 4,
-        nodes_per_shard: 4,
-        faulty_per_shard: 1,
-    };
-    let map = AccountMap::round_robin(&sys);
+    let args = BinArgs::parse();
+    let scenario = load_or_exit(Path::new("scenarios/table_t1.scenario"));
+    let outcomes = args.execute(&scenario);
+    let sys = outcomes[0].spec.system_config();
     let threshold = bounds::theorem1_threshold(sys.k_max, sys.shards);
     println!(
         "Theorem 1: s={}, k={} → no stable scheduler above rho* = {threshold:.4}",
@@ -38,33 +31,21 @@ fn main() {
         "rho/rho*", "rho", "FCFS verdict", "BDS verdict", "FCFS pend", "BDS pend"
     );
 
-    for factor in [0.3, 0.6, 0.9, 1.2, 1.5, 1.8] {
-        let rho = (threshold * factor).min(1.0);
-        let adv = AdversaryConfig {
-            rho,
-            burstiness: 8,
-            strategy: StrategyKind::PairwiseConflict,
-            seed: 3,
-            ..Default::default()
+    // The grid is rho (outer) × scheduler (fcfs, bds): adjacent pairs.
+    for pair in outcomes.chunks(2) {
+        let [f, b] = pair else {
+            unreachable!("scheduler axis has two values")
         };
-        let f = run_fcfs(
-            &sys,
-            &map,
-            &adv,
-            Round(opts.rounds),
-            FcfsConfig {
-                respect_capacity: true,
-            },
-        );
-        let b = run_bds(&sys, &map, &adv, Round(opts.rounds));
+        assert_eq!(f.spec.scheduler, SchedulerKind::Fcfs);
+        assert_eq!(b.spec.scheduler, SchedulerKind::Bds);
         println!(
             "{:<12.2} {:>10.4} {:>14} {:>14} {:>12} {:>12}",
-            factor,
-            rho,
-            format!("{:?}", f.verdict),
-            format!("{:?}", b.verdict),
-            f.pending_at_end,
-            b.pending_at_end,
+            f.spec.rho / threshold,
+            f.spec.rho,
+            format!("{:?}", f.report.verdict),
+            format!("{:?}", b.report.verdict),
+            f.report.pending_at_end,
+            b.report.pending_at_end,
         );
     }
 

@@ -1,17 +1,21 @@
 //! # bench
 //!
-//! The experiment harness: shared sweep/report machinery for the
-//! figure-regeneration binaries (`fig2`, `fig3`, `table_t1`, `table_t2`,
-//! `table_t3`, `ablations`) and the Criterion micro-benchmarks under
-//! `benches/`.
+//! The experiment harness: ASCII rendering and legacy sweep machinery for
+//! the figure-regeneration binaries (`fig2`, `fig3`, `table_t1`,
+//! `table_t2`, `table_t3`, `frontier`, `ablations`) and the Criterion
+//! micro-benchmarks under `benches/`.
 //!
-//! Every binary accepts:
+//! The grid definitions themselves are migrating into declarative
+//! `.scenario` files under `scenarios/` driven by the [`scenario`] engine
+//! (`fig2`, `table_t1`, and `ablations` are already thin wrappers; the
+//! rest still use the in-crate [`Opts`] sweeps). Every binary accepts:
 //!
 //! * `--full` — run the paper-scale grid (25 000 rounds, the full ρ and b
 //!   grids). Without it a reduced "quick" grid runs in a few minutes on a
 //!   single core.
 //! * `--rounds N` — override the round count.
 //! * `--out DIR` — output directory for CSV files (default `results/`).
+//! * `--threads N` — worker threads (scenario-driven binaries only).
 //!
 //! The binaries print ASCII renditions of the paper's plots plus a
 //! paper-vs-measured summary, and write the raw series as CSV.

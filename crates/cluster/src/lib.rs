@@ -20,4 +20,6 @@ pub mod hierarchy;
 pub mod metric;
 
 pub use hierarchy::{Cluster, ClusterId, Hierarchy};
-pub use metric::{ExplicitMetric, GridMetric, LineMetric, RingMetric, ShardMetric, UniformMetric};
+pub use metric::{
+    ExplicitMetric, GridMetric, LineMetric, MetricKind, RingMetric, ShardMetric, UniformMetric,
+};

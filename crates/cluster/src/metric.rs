@@ -47,6 +47,102 @@ pub trait ShardMetric: Send + Sync {
     }
 }
 
+/// A declarative name for one of the standard metric shapes, the
+/// configuration surface used by scenario files and experiment CLIs.
+///
+/// `MetricKind` is to [`ShardMetric`] what a config enum is to a trait
+/// object: parse it from text (`uniform`, `line`, `ring`, `grid:WxH`),
+/// then [`build`](MetricKind::build) the concrete metric for a given
+/// shard count. [`ExplicitMetric`] has no kind — arbitrary matrices
+/// cannot be named by a short string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// [`UniformMetric`]: distance 1 between every pair of distinct shards.
+    Uniform,
+    /// [`LineMetric`]: shards on a line, `distance = |i − j|`.
+    Line,
+    /// [`RingMetric`]: shards on a ring.
+    Ring,
+    /// [`GridMetric`]: shards on a `w × h` Manhattan grid (`w·h` must
+    /// equal the shard count).
+    Grid {
+        /// Grid width.
+        w: usize,
+        /// Grid height.
+        h: usize,
+    },
+}
+
+impl MetricKind {
+    /// Builds the concrete metric over `shards` shards. Fails when the
+    /// kind is incompatible with the shard count (grid dimensions must
+    /// multiply to `shards`).
+    pub fn build(&self, shards: usize) -> Result<Box<dyn ShardMetric>, String> {
+        if shards == 0 {
+            return Err("metric needs at least one shard".into());
+        }
+        match *self {
+            MetricKind::Uniform => Ok(Box::new(UniformMetric::new(shards))),
+            MetricKind::Line => Ok(Box::new(LineMetric::new(shards))),
+            MetricKind::Ring => Ok(Box::new(RingMetric::new(shards))),
+            MetricKind::Grid { w, h } => {
+                if w * h != shards {
+                    Err(format!(
+                        "grid:{w}x{h} covers {} shards, system has {shards}",
+                        w * h
+                    ))
+                } else {
+                    Ok(Box::new(GridMetric::new(w, h)))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    /// Renders the scenario-file spelling; round-trips through
+    /// `MetricKind::from_str`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricKind::Uniform => write!(f, "uniform"),
+            MetricKind::Line => write!(f, "line"),
+            MetricKind::Ring => write!(f, "ring"),
+            MetricKind::Grid { w, h } => write!(f, "grid:{w}x{h}"),
+        }
+    }
+}
+
+impl std::str::FromStr for MetricKind {
+    type Err = String;
+
+    /// Parses the scenario-file spelling: `uniform`, `line`, `ring`,
+    /// `grid:WxH`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.split_once(':') {
+            None => match s {
+                "uniform" => Ok(MetricKind::Uniform),
+                "line" => Ok(MetricKind::Line),
+                "ring" => Ok(MetricKind::Ring),
+                other => Err(format!(
+                    "unknown metric `{other}` (expected uniform, line, ring, or grid:WxH)"
+                )),
+            },
+            Some(("grid", dims)) => {
+                let (w, h) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("grid dimensions `{dims}` are not WxH"))?;
+                let w: usize = w.parse().map_err(|_| format!("`{w}` is not an integer"))?;
+                let h: usize = h.parse().map_err(|_| format!("`{h}` is not an integer"))?;
+                if w == 0 || h == 0 {
+                    return Err("grid dimensions must be >= 1".into());
+                }
+                Ok(MetricKind::Grid { w, h })
+            }
+            Some((other, _)) => Err(format!("metric `{other}` takes no `:`-argument")),
+        }
+    }
+}
+
 /// The uniform communication model: every pair of distinct shards is at
 /// distance exactly 1 (a clique with unit weights).
 #[derive(Debug, Clone, Copy)]
@@ -301,5 +397,31 @@ mod tests {
         let m = LineMetric::new(10);
         assert_eq!(m.eccentricity_to(ShardId(0), &[ShardId(3), ShardId(7)]), 7);
         assert_eq!(m.eccentricity_to(ShardId(0), &[]), 0);
+    }
+
+    #[test]
+    fn metric_kind_roundtrips_and_builds() {
+        for kind in [
+            MetricKind::Uniform,
+            MetricKind::Line,
+            MetricKind::Ring,
+            MetricKind::Grid { w: 4, h: 2 },
+        ] {
+            let spelled = kind.to_string();
+            assert_eq!(spelled.parse::<MetricKind>().unwrap(), kind, "{spelled}");
+            let m = kind.build(8).unwrap();
+            assert_eq!(m.shards(), 8);
+        }
+        assert_eq!(MetricKind::Uniform.build(8).unwrap().diameter(), 1);
+        assert_eq!(MetricKind::Line.build(8).unwrap().diameter(), 7);
+    }
+
+    #[test]
+    fn metric_kind_rejects_bad_input() {
+        for bad in ["", "torus", "grid:8", "grid:0x4", "grid:axb", "line:3"] {
+            assert!(bad.parse::<MetricKind>().is_err(), "{bad:?} should fail");
+        }
+        assert!(MetricKind::Grid { w: 3, h: 3 }.build(8).is_err());
+        assert!(MetricKind::Line.build(0).is_err());
     }
 }

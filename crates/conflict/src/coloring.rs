@@ -32,6 +32,42 @@ pub enum ColoringStrategy {
     },
 }
 
+impl std::fmt::Display for ColoringStrategy {
+    /// Renders the scenario-file spelling; round-trips through
+    /// `ColoringStrategy::from_str`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoringStrategy::Greedy => write!(f, "greedy"),
+            ColoringStrategy::Dsatur => write!(f, "dsatur"),
+            ColoringStrategy::HeavyLight { threshold } => write!(f, "heavy-light:{threshold}"),
+        }
+    }
+}
+
+impl std::str::FromStr for ColoringStrategy {
+    type Err = String;
+
+    /// Parses the scenario-file spelling: `greedy`, `dsatur`,
+    /// `heavy-light:T`. The context-dependent `heavy-light` default
+    /// (`T = ⌈√s⌉`) is resolved by the scenario layer.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.split_once(':') {
+            None => match s {
+                "greedy" => Ok(ColoringStrategy::Greedy),
+                "dsatur" => Ok(ColoringStrategy::Dsatur),
+                other => Err(format!(
+                    "unknown coloring `{other}` (expected greedy, dsatur, or heavy-light:T)"
+                )),
+            },
+            Some(("heavy-light", t)) => {
+                let threshold: usize = t.parse().map_err(|_| format!("`{t}` is not an integer"))?;
+                Ok(ColoringStrategy::HeavyLight { threshold })
+            }
+            Some((other, _)) => Err(format!("coloring `{other}` takes no `:`-argument")),
+        }
+    }
+}
+
 /// A coloring of a [`ConflictGraph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coloring {
@@ -333,6 +369,28 @@ mod tests {
     use sharding_core::ids::{Round, ShardId, TxnId};
     use sharding_core::rngutil::seeded_rng;
     use sharding_core::txn::Transaction;
+
+    #[test]
+    fn coloring_strategy_roundtrips_through_from_str() {
+        for strategy in [
+            ColoringStrategy::Greedy,
+            ColoringStrategy::Dsatur,
+            ColoringStrategy::HeavyLight { threshold: 8 },
+        ] {
+            let spelled = strategy.to_string();
+            assert_eq!(
+                spelled.parse::<ColoringStrategy>().unwrap(),
+                strategy,
+                "{spelled}"
+            );
+        }
+        for bad in ["", "rainbow", "heavy-light", "heavy-light:x", "greedy:1"] {
+            assert!(
+                bad.parse::<ColoringStrategy>().is_err(),
+                "{bad:?} should fail"
+            );
+        }
+    }
 
     fn random_graph(n: usize, p: f64, seed: u64) -> ConflictGraph {
         let mut rng = seeded_rng(seed);

@@ -1,0 +1,415 @@
+//! The `blockshard` command-line interface (clap-style, hand-rolled —
+//! the workspace is offline) plus the small argument parser shared by
+//! the figure-wrapper binaries in `bench`.
+
+use crate::exec::{run_jobs, JobOutcome};
+use crate::parse::Scenario;
+use crate::report;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "blockshard — declarative scenario driver
+
+USAGE:
+    blockshard run <FILE>... [OPTIONS]     execute scenarios, write reports
+    blockshard plan <FILE>                 print the expanded job list
+    blockshard check <FILE>...             parse + validate only
+    blockshard list [DIR]                  list scenario files (default scenarios/)
+    blockshard help                        this text
+
+OPTIONS (run):
+    --threads N      worker threads (default: min(cores, jobs))
+    --out DIR        report directory (default: results/)
+    --rounds N       override rounds for every job (grid axes still win)
+    --set KEY=VALUE  override any base key (repeatable; grid axes still win)
+    --quiet          no per-job progress on stderr
+    --no-write       print the summary but write no report files
+
+Reports land in <out>/<scenario-name>.csv and .jsonl. See the scenario
+crate rustdoc or README.md for the scenario file grammar.";
+
+/// Worker-thread default: available cores, capped by the job count.
+pub fn default_threads(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, jobs.max(1))
+}
+
+/// Arguments shared by the figure-wrapper binaries (`fig2`, `table_t1`,
+/// `ablations`): quick/full scenario selection plus engine overrides.
+#[derive(Debug, Clone)]
+pub struct BinArgs {
+    /// Run the paper-scale variant of the scenario.
+    pub full: bool,
+    /// Explicit `--rounds` override, when given.
+    pub rounds: Option<u64>,
+    /// Output directory for reports/CSVs.
+    pub out: PathBuf,
+    /// Worker threads (`0` = pick a default per plan size).
+    pub threads: usize,
+}
+
+impl BinArgs {
+    /// Parses `std::env::args` (unknown flags are ignored, like the old
+    /// per-binary parsers did).
+    pub fn parse() -> BinArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let mut out = BinArgs {
+            full: args.iter().any(|a| a == "--full"),
+            rounds: None,
+            out: PathBuf::from("results"),
+            threads: 0,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--rounds" => {
+                    if let Some(v) = it.next() {
+                        out.rounds = Some(v.parse().expect("--rounds takes an integer"));
+                    }
+                }
+                "--out" => {
+                    if let Some(v) = it.next() {
+                        out.out = PathBuf::from(v);
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = it.next() {
+                        out.threads = v.parse().expect("--threads takes an integer");
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The engine overrides this argument set implies. Binaries whose
+    /// scenario file has no `_full` variant honor `--full` by overriding
+    /// rounds to the paper's 25 000 (explicit `--rounds` still wins).
+    pub fn sets(&self) -> Vec<(String, String)> {
+        match (self.rounds, self.full) {
+            (Some(r), _) => vec![("rounds".to_string(), r.to_string())],
+            (None, true) => vec![("rounds".to_string(), "25000".to_string())],
+            (None, false) => Vec::new(),
+        }
+    }
+
+    /// Loads `scenarios/<base>_full.scenario` or `<base>_quick.scenario`
+    /// per `--full`, exiting with a readable error if missing.
+    pub fn load_variant(&self, base: &str) -> Scenario {
+        let suffix = if self.full { "full" } else { "quick" };
+        load_or_exit(Path::new(&format!("scenarios/{base}_{suffix}.scenario")))
+    }
+
+    /// Runs a scenario through the engine with this argument set.
+    pub fn execute(&self, scenario: &Scenario) -> Vec<JobOutcome> {
+        let jobs = match scenario.jobs_with(&self.sets()) {
+            Ok(jobs) => jobs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let threads = if self.threads == 0 {
+            default_threads(jobs.len())
+        } else {
+            self.threads
+        };
+        run_jobs(&jobs, threads, true)
+    }
+}
+
+/// Loads a scenario file or exits with a readable error (binary helper).
+pub fn load_or_exit(path: &Path) -> Scenario {
+    match Scenario::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RunFlags {
+    files: Vec<PathBuf>,
+    threads: usize,
+    out: PathBuf,
+    sets: Vec<(String, String)>,
+    quiet: bool,
+    write: bool,
+}
+
+fn parse_run_flags(args: &[String]) -> Result<RunFlags, String> {
+    let mut flags = RunFlags {
+        files: Vec::new(),
+        threads: 0,
+        out: PathBuf::from("results"),
+        sets: Vec::new(),
+        quiet: false,
+        write: true,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads takes a value")?;
+                flags.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not an integer"))?;
+                if flags.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out takes a value")?;
+                flags.out = PathBuf::from(v);
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds takes a value")?;
+                v.parse::<u64>()
+                    .map_err(|_| format!("--rounds: `{v}` is not an integer"))?;
+                flags.sets.push(("rounds".to_string(), v.clone()));
+            }
+            "--set" => {
+                let v = it.next().ok_or("--set takes KEY=VALUE")?;
+                let (k, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set: `{v}` is not KEY=VALUE"))?;
+                flags
+                    .sets
+                    .push((k.trim().to_string(), val.trim().to_string()));
+            }
+            "--quiet" => flags.quiet = true,
+            "--no-write" => flags.write = false,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            file => flags.files.push(PathBuf::from(file)),
+        }
+    }
+    if flags.files.is_empty() {
+        return Err("no scenario files given".into());
+    }
+    Ok(flags)
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let flags = match parse_run_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    for file in &flags.files {
+        let scenario = match Scenario::load(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let jobs = match scenario.jobs_with(&flags.sets) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let threads = if flags.threads == 0 {
+            default_threads(jobs.len())
+        } else {
+            flags.threads
+        };
+        if !flags.quiet {
+            eprintln!(
+                "scenario `{}`: {} job(s) on {} thread(s)",
+                scenario.name,
+                jobs.len(),
+                threads.clamp(1, jobs.len())
+            );
+        }
+        let outcomes = run_jobs(&jobs, threads, !flags.quiet);
+        println!("# {}", scenario.name);
+        if !scenario.description.is_empty() {
+            println!("# {}", scenario.description);
+        }
+        print!("{}", report::summary_table(&outcomes));
+        if flags.write {
+            let csv = flags.out.join(format!("{}.csv", scenario.name));
+            let jsonl = flags.out.join(format!("{}.jsonl", scenario.name));
+            if let Err(e) = report::write_report(&csv, &report::csv_string(&outcomes))
+                .and_then(|()| report::write_report(&jsonl, &report::jsonl_string(&outcomes)))
+            {
+                eprintln!("error: writing reports: {e}");
+                return 1;
+            }
+            println!("reports: {} + {}", csv.display(), jsonl.display());
+        }
+    }
+    0
+}
+
+fn cmd_plan(args: &[String]) -> i32 {
+    let [file] = args else {
+        eprintln!("error: plan takes exactly one scenario file\n\n{USAGE}");
+        return 2;
+    };
+    let scenario = match Scenario::load(Path::new(file)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match scenario.jobs() {
+        Ok(jobs) => {
+            print!("{}", scenario.plan_string(&jobs));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    if args.is_empty() {
+        eprintln!("error: check takes scenario files\n\n{USAGE}");
+        return 2;
+    }
+    let mut status = 0;
+    for file in args {
+        match Scenario::load(Path::new(file)).and_then(|s| s.jobs().map(|j| (s, j))) {
+            Ok((s, jobs)) => println!("ok: {file}: `{}`, {} job(s)", s.name, jobs.len()),
+            Err(e) => {
+                println!("FAIL: {e}");
+                status = 1;
+            }
+        }
+    }
+    status
+}
+
+fn cmd_list(args: &[String]) -> i32 {
+    let dir = args.first().map(String::as_str).unwrap_or("scenarios");
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read `{dir}`: {e}");
+            return 2;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "scenario"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        match Scenario::load(&p).and_then(|s| s.jobs().map(|j| (s, j))) {
+            Ok((s, jobs)) => println!(
+                "{:<42} {:<18} {:>4} job(s)  {}",
+                p.display(),
+                s.name,
+                jobs.len(),
+                s.description
+            ),
+            Err(e) => println!("{:<42} INVALID: {e}", p.display()),
+        }
+    }
+    0
+}
+
+/// CLI entry point; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            i32::from(args.is_empty())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_flags_parse() {
+        let args: Vec<String> = [
+            "a.scenario",
+            "--threads",
+            "3",
+            "--rounds",
+            "500",
+            "--set",
+            "rho=0.2",
+            "--quiet",
+            "b.scenario",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let f = parse_run_flags(&args).unwrap();
+        assert_eq!(f.files.len(), 2);
+        assert_eq!(f.threads, 3);
+        assert!(f.quiet);
+        assert_eq!(
+            f.sets,
+            vec![
+                ("rounds".to_string(), "500".to_string()),
+                ("rho".to_string(), "0.2".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn bin_args_full_implies_paper_rounds() {
+        let base = BinArgs {
+            full: false,
+            rounds: None,
+            out: PathBuf::from("results"),
+            threads: 0,
+        };
+        assert!(base.sets().is_empty());
+        let full = BinArgs {
+            full: true,
+            ..base.clone()
+        };
+        assert_eq!(
+            full.sets(),
+            vec![("rounds".to_string(), "25000".to_string())]
+        );
+        let explicit = BinArgs {
+            full: true,
+            rounds: Some(300),
+            ..base
+        };
+        assert_eq!(
+            explicit.sets(),
+            vec![("rounds".to_string(), "300".to_string())],
+            "explicit --rounds beats --full"
+        );
+    }
+
+    #[test]
+    fn run_flags_reject_bad_input() {
+        let bad = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_run_flags(&args).unwrap_err()
+        };
+        assert!(bad(&[]).contains("no scenario files"));
+        assert!(bad(&["a", "--wat"]).contains("unknown flag"));
+        assert!(bad(&["a", "--threads", "x"]).contains("not an integer"));
+        assert!(bad(&["a", "--set", "nope"]).contains("KEY=VALUE"));
+    }
+}

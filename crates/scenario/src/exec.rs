@@ -1,0 +1,191 @@
+//! The parallel sweep executor: a fixed pool of `std::thread` workers
+//! claiming jobs by atomic index and reporting results over a channel.
+//!
+//! There is no work stealing and no shared mutable simulation state:
+//! each job is a pure function of its [`JobSpec`] (all randomness flows
+//! from the spec's seeds), workers claim disjoint indices, and the merge
+//! step re-sorts outcomes by index — so reports are byte-identical for
+//! any worker count.
+
+use crate::spec::JobSpec;
+use adversary::Adversary;
+use schedulers::baseline::{run_fcfs, FcfsConfig};
+use schedulers::bds::{run_bds_with_metric, BdsConfig};
+use schedulers::fds::{run_fds, FdsConfig, FdsSim};
+use schedulers::history::check_cross_shard_order;
+use schedulers::{RunReport, SchedulerKind};
+use sharding_core::Round;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The result of one executed job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The spec that produced this outcome.
+    pub spec: JobSpec,
+    /// The scheduler's run report.
+    pub report: RunReport,
+    /// Cross-shard serialization-order violations, when the spec asked
+    /// for the check (`check-order = true`, FDS only).
+    pub violations: Option<u64>,
+}
+
+/// Runs one job to completion on the calling thread.
+pub fn run_job(spec: &JobSpec) -> JobOutcome {
+    let sys = spec.system_config();
+    let map = spec.account_map();
+    let adv = spec.adversary_config();
+    let metric = spec
+        .metric
+        .build(spec.shards)
+        .expect("spec validated at plan time");
+    let rounds = Round(spec.rounds);
+    let (report, violations) = match spec.scheduler {
+        SchedulerKind::Bds => {
+            let bcfg = BdsConfig {
+                coloring: spec.coloring,
+                rotate_leader: spec.rotate_leader,
+                ..BdsConfig::default()
+            };
+            (
+                run_bds_with_metric(&sys, &map, &adv, rounds, metric.as_ref(), bcfg),
+                None,
+            )
+        }
+        SchedulerKind::Fds => {
+            let fcfg = FdsConfig {
+                epoch_scale: spec.epoch_scale,
+                sublayers: spec.sublayers,
+                reschedule: spec.reschedule,
+                pipeline_window: spec.pipeline_window,
+                coloring: spec.coloring,
+                ..FdsConfig::default()
+            };
+            if spec.check_order {
+                // Drive the simulator by hand so the full transaction set
+                // is available to the order checker afterwards.
+                let mut sim = FdsSim::new(&sys, &map, fcfg, metric.as_ref());
+                let mut adversary = Adversary::new(&sys, &map, adv);
+                let mut all = BTreeMap::new();
+                for r in 0..spec.rounds {
+                    let batch = adversary.generate(Round(r));
+                    for t in &batch {
+                        all.insert(t.id, t.clone());
+                    }
+                    sim.step(batch);
+                }
+                let violations = check_cross_shard_order(sim.chains(), &all).len() as u64;
+                (sim.finish(), Some(violations))
+            } else {
+                (
+                    run_fds(&sys, &map, &adv, rounds, metric.as_ref(), fcfg),
+                    None,
+                )
+            }
+        }
+        SchedulerKind::Fcfs => {
+            let fcfg = FcfsConfig {
+                respect_capacity: spec.respect_capacity,
+            };
+            (run_fcfs(&sys, &map, &adv, rounds, fcfg), None)
+        }
+    };
+    JobOutcome {
+        spec: spec.clone(),
+        report,
+        violations,
+    }
+}
+
+/// Runs all jobs on a fixed pool of `threads` workers and returns the
+/// outcomes in job-index order. `threads` is clamped to
+/// `1..=specs.len()`. With `progress`, one line per finished job goes to
+/// stderr (stderr only — report bytes are unaffected).
+pub fn run_jobs(specs: &[JobSpec], threads: usize, progress: bool) -> Vec<JobOutcome> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, specs.len());
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
+
+    let mut slots: Vec<Option<JobOutcome>> = (0..specs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let done = &done;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let outcome = run_job(&specs[i]);
+                if progress {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "  [{finished}/{}] job {i} ({}): {}",
+                        specs.len(),
+                        specs[i].label(),
+                        outcome.report.summary()
+                    );
+                }
+                // The receiver outlives every worker inside this scope.
+                let _ = tx.send((i, outcome));
+            });
+        }
+        drop(tx);
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index produced an outcome"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::Scenario;
+
+    const TINY: &str = "
+name = exec-tiny
+scheduler = fcfs
+shards = 4
+accounts = 8
+k = 2
+nodes-per-shard = 4
+faulty-per-shard = 1
+rounds = 120
+rho = 0.2
+b = 4
+
+[grid]
+seed = 1, 2, 3, 4
+";
+
+    #[test]
+    fn outcomes_come_back_in_index_order() {
+        let jobs = Scenario::parse_str(TINY, "<t>").unwrap().jobs().unwrap();
+        let outcomes = run_jobs(&jobs, 3, false);
+        assert_eq!(outcomes.len(), 4);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.spec.index, i);
+            assert!(o.report.generated > 0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_reports() {
+        let jobs = Scenario::parse_str(TINY, "<t>").unwrap().jobs().unwrap();
+        let a = run_jobs(&jobs, 1, false);
+        let b = run_jobs(&jobs, 4, false);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.report.summary(), y.report.summary());
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The `.scenario` file parser and grid planner.
+//!
+//! The format is deliberately dependency-free: line-oriented
+//! `key = value` assignments, `#` comments, and one optional `[grid]`
+//! section whose comma-separated axes expand into the cross-product of
+//! jobs. See the crate docs for the full grammar and key table.
+
+use crate::spec::{JobDraft, JobSpec};
+use std::path::{Path, PathBuf};
+
+/// Hard ceiling on expanded plan size, guarding against a typo'd grid
+/// (`seed = 1..` style lists are still written out by hand).
+const MAX_JOBS: usize = 65_536;
+
+/// A parse or validation error, carrying file/line provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// Where the text came from (path, or `"<inline>"`).
+    pub origin: String,
+    /// 1-based line number, when attributable to one line.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{}: {}", self.origin, line, self.msg),
+            None => write!(f, "{}: {}", self.origin, self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[derive(Debug, Clone)]
+struct Assign {
+    key: String,
+    value: String,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Axis {
+    key: String,
+    values: Vec<String>,
+    line: usize,
+}
+
+/// A parsed scenario: base assignments plus grid axes, not yet expanded.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (the `name =` key; required).
+    pub name: String,
+    /// Free-text description (the `description =` key).
+    pub description: String,
+    /// Source path, when loaded from disk.
+    pub path: Option<PathBuf>,
+    origin: String,
+    base: Vec<Assign>,
+    grid: Vec<Axis>,
+}
+
+impl Scenario {
+    /// Loads and parses a scenario file.
+    pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
+        let origin = path.display().to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| ScenarioError {
+            origin: origin.clone(),
+            line: None,
+            msg: format!("cannot read file: {e}"),
+        })?;
+        let mut s = Scenario::parse_str(&text, &origin)?;
+        s.path = Some(path.to_path_buf());
+        Ok(s)
+    }
+
+    /// Parses scenario text. `origin` labels error messages (a path, or
+    /// something like `"<inline>"` for embedded text).
+    pub fn parse_str(text: &str, origin: &str) -> Result<Scenario, ScenarioError> {
+        let err = |line: usize, msg: String| ScenarioError {
+            origin: origin.to_string(),
+            line: Some(line),
+            msg,
+        };
+        let mut name = None;
+        let mut description = String::new();
+        let mut base = Vec::new();
+        let mut grid: Vec<Axis> = Vec::new();
+        let mut in_grid = false;
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, format!("unterminated section header `{raw}`")))?
+                    .trim();
+                match section {
+                    "grid" => in_grid = true,
+                    "scenario" | "base" => in_grid = false,
+                    other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            let key = key.trim();
+            let value = value.trim();
+            if key.is_empty() {
+                return Err(err(lineno, "empty key".into()));
+            }
+            if in_grid {
+                if key == "name" || key == "description" {
+                    return Err(err(lineno, format!("`{key}` cannot be a grid axis")));
+                }
+                if grid.iter().any(|a| a.key == key) {
+                    return Err(err(lineno, format!("duplicate grid axis `{key}`")));
+                }
+                let values: Vec<String> = value
+                    .split(',')
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                if values.is_empty() {
+                    return Err(err(lineno, format!("grid axis `{key}` has no values")));
+                }
+                grid.push(Axis {
+                    key: key.to_string(),
+                    values,
+                    line: lineno,
+                });
+            } else {
+                match key {
+                    "name" => {
+                        // The name becomes a report filename and an
+                        // unquoted CSV field: keep it to a safe charset.
+                        let ok = !value.is_empty()
+                            && value
+                                .chars()
+                                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                            && !value.starts_with('.');
+                        if !ok {
+                            return Err(err(
+                                lineno,
+                                format!(
+                                    "name `{value}` must be non-empty [A-Za-z0-9._-] \
+                                     and not start with `.` (it names report files)"
+                                ),
+                            ));
+                        }
+                        name = Some(value.to_string());
+                    }
+                    "description" => description = value.to_string(),
+                    _ => base.push(Assign {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                        line: lineno,
+                    }),
+                }
+            }
+        }
+
+        let scenario = Scenario {
+            name: name.ok_or_else(|| ScenarioError {
+                origin: origin.to_string(),
+                line: None,
+                msg: "scenario has no `name =` assignment".into(),
+            })?,
+            description,
+            path: None,
+            origin: origin.to_string(),
+            base,
+            grid,
+        };
+        // Surface key/value syntax errors eagerly, attributed to their
+        // lines, without expanding the grid (cross-field validation —
+        // k vs shards, metric fit, rho range — happens in `jobs`, after
+        // any CLI overrides have been applied).
+        let mut scratch = JobDraft::default();
+        for a in &scenario.base {
+            scratch.apply(&a.key, &a.value).map_err(|m| ScenarioError {
+                origin: origin.to_string(),
+                line: Some(a.line),
+                msg: m,
+            })?;
+        }
+        for axis in &scenario.grid {
+            for v in &axis.values {
+                scratch
+                    .clone()
+                    .apply(&axis.key, v)
+                    .map_err(|m| ScenarioError {
+                        origin: origin.to_string(),
+                        line: Some(axis.line),
+                        msg: m,
+                    })?;
+            }
+        }
+        Ok(scenario)
+    }
+
+    /// Expands the grid into the full job list.
+    pub fn jobs(&self) -> Result<Vec<JobSpec>, ScenarioError> {
+        self.jobs_with(&[])
+    }
+
+    /// Expands the grid with extra base-level overrides (e.g. a CLI
+    /// `--rounds N`) applied *after* the file's base section but *before*
+    /// the grid axes — so an axis over the same key still wins.
+    pub fn jobs_with(&self, extra: &[(String, String)]) -> Result<Vec<JobSpec>, ScenarioError> {
+        let err_at = |line: Option<usize>, msg: String| ScenarioError {
+            origin: self.origin.clone(),
+            line,
+            msg,
+        };
+        let mut template = JobDraft::default();
+        for a in &self.base {
+            template
+                .apply(&a.key, &a.value)
+                .map_err(|m| err_at(Some(a.line), m))?;
+        }
+        for (key, value) in extra {
+            template
+                .apply(key, value)
+                .map_err(|m| err_at(None, format!("override {key}={value}: {m}")))?;
+        }
+
+        let total: usize = self.grid.iter().map(|a| a.values.len()).product();
+        if total > MAX_JOBS {
+            return Err(err_at(
+                None,
+                format!("grid expands to {total} jobs (limit {MAX_JOBS})"),
+            ));
+        }
+        let mut jobs = Vec::with_capacity(total);
+        for index in 0..total {
+            let mut draft = template.clone();
+            let mut overrides = Vec::with_capacity(self.grid.len());
+            // Mixed-radix decode: first axis outermost, last axis fastest.
+            let mut rem = index;
+            for axis in self.grid.iter().rev() {
+                let v = &axis.values[rem % axis.values.len()];
+                rem /= axis.values.len();
+                overrides.push((axis.key.clone(), v.clone()));
+            }
+            overrides.reverse();
+            for (pos, (key, value)) in overrides.iter().enumerate() {
+                draft
+                    .apply(key, value)
+                    .map_err(|m| err_at(Some(self.grid[pos].line), m))?;
+            }
+            let job = draft
+                .resolve(&self.name, index, overrides)
+                .map_err(|m| err_at(None, format!("job {index}: {m}")))?;
+            jobs.push(job);
+        }
+        Ok(jobs)
+    }
+
+    /// Deterministic plan rendering: name, description, axes, and one
+    /// line per job — what `blockshard plan` prints and the golden
+    /// parser tests pin.
+    pub fn plan_string(&self, jobs: &[JobSpec]) -> String {
+        let mut out = format!("scenario: {}\n", self.name);
+        if !self.description.is_empty() {
+            out.push_str(&format!("description: {}\n", self.description));
+        }
+        for axis in &self.grid {
+            out.push_str(&format!(
+                "axis: {} = {}\n",
+                axis.key,
+                axis.values.join(", ")
+            ));
+        }
+        out.push_str(&format!("jobs: {}\n", jobs.len()));
+        for job in jobs {
+            out.push_str(&job.plan_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "
+name = mini
+scheduler = fds
+metric = line
+shards = 8
+accounts = 8
+k = 3
+rounds = 200
+
+[grid]
+rho = 0.05, 0.1
+seed = 1, 2, 3
+";
+
+    #[test]
+    fn grid_cross_product_order() {
+        let s = Scenario::parse_str(MINI, "<test>").unwrap();
+        let jobs = s.jobs().unwrap();
+        assert_eq!(jobs.len(), 6);
+        // First axis outermost, last fastest.
+        let key: Vec<(f64, u64)> = jobs.iter().map(|j| (j.rho, j.seed)).collect();
+        assert_eq!(
+            key,
+            vec![
+                (0.05, 1),
+                (0.05, 2),
+                (0.05, 3),
+                (0.1, 1),
+                (0.1, 2),
+                (0.1, 3)
+            ]
+        );
+        assert_eq!(
+            jobs[4].overrides,
+            vec![
+                ("rho".to_string(), "0.1".to_string()),
+                ("seed".to_string(), "2".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn extra_overrides_lose_to_grid() {
+        let s = Scenario::parse_str(MINI, "<test>").unwrap();
+        let jobs = s
+            .jobs_with(&[
+                ("rounds".to_string(), "50".to_string()),
+                ("rho".to_string(), "0.9".to_string()),
+            ])
+            .unwrap();
+        assert_eq!(jobs[0].rounds, 50, "extra override applies");
+        assert_eq!(jobs[0].rho, 0.05, "grid axis beats the extra override");
+    }
+
+    #[test]
+    fn auto_strategy_resolves_against_rounds_and_b() {
+        let text = "
+name = auto
+rounds = 1000
+b = 77
+strategy = count-burst:auto
+";
+        let s = Scenario::parse_str(text, "<test>").unwrap();
+        let jobs = s.jobs().unwrap();
+        assert_eq!(
+            jobs[0].strategy,
+            adversary::StrategyKind::CountBurst {
+                burst_round: 100,
+                count: 77
+            }
+        );
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "name = bad\nrho = fast\n";
+        let e = Scenario::parse_str(text, "<test>").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.msg.contains("not a number"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_key_and_section() {
+        let e = Scenario::parse_str("name = x\nwat = 1\n", "<t>").unwrap_err();
+        assert!(e.msg.contains("unknown key"), "{e}");
+        let e = Scenario::parse_str("name = x\n[wat]\n", "<t>").unwrap_err();
+        assert!(e.msg.contains("unknown section"), "{e}");
+    }
+
+    #[test]
+    fn rejects_invalid_system_at_plan_time() {
+        // Cross-field validation is deferred to jobs() so CLI overrides
+        // can still fix the plan.
+        let text = "name = x\nshards = 4\nk = 9\n";
+        let s = Scenario::parse_str(text, "<t>").unwrap();
+        let e = s.jobs().unwrap_err();
+        assert!(e.msg.contains("k must satisfy"), "{e}");
+        let fixed = s.jobs_with(&[("k".to_string(), "2".to_string())]).unwrap();
+        assert_eq!(fixed[0].k, 2);
+    }
+
+    #[test]
+    fn grid_metric_must_match_shards() {
+        let text = "name = x\nshards = 6\naccounts = 6\nk = 2\nmetric = grid:2x2\n";
+        let e = Scenario::parse_str(text, "<t>")
+            .unwrap()
+            .jobs()
+            .unwrap_err();
+        assert!(e.msg.contains("grid:2x2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unsafe_names() {
+        for bad in ["../x", "a,b", "a b", ".hidden", "x/y"] {
+            let text = format!("name = {bad}\n");
+            let e = Scenario::parse_str(&text, "<t>").unwrap_err();
+            assert!(e.msg.contains("report files"), "{bad:?}: {e}");
+        }
+        assert!(Scenario::parse_str("name = ok-1.v2_x\n", "<t>").is_ok());
+    }
+
+    #[test]
+    fn check_order_requires_fds() {
+        let text = "name = x\ncheck-order = true\nscheduler = bds\n";
+        let e = Scenario::parse_str(text, "<t>")
+            .unwrap()
+            .jobs()
+            .unwrap_err();
+        assert!(e.msg.contains("only supported for scheduler = fds"), "{e}");
+        let text = "name = x\ncheck-order = true\nscheduler = fds\n";
+        let jobs = Scenario::parse_str(text, "<t>").unwrap().jobs().unwrap();
+        assert!(jobs[0].check_order);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\nname = c   # trailing\n\nrho = 0.2\n";
+        let s = Scenario::parse_str(text, "<t>").unwrap();
+        assert_eq!(s.name, "c");
+        assert_eq!(s.jobs().unwrap()[0].rho, 0.2);
+    }
+}

@@ -1,0 +1,364 @@
+//! Fully resolved job specifications and the key/value assignment logic
+//! shared by the base section and grid axes of a scenario file.
+
+use adversary::{StrategyKind, WorkloadShape};
+use cluster::MetricKind;
+use conflict::ColoringStrategy;
+use schedulers::SchedulerKind;
+use sharding_core::{bounds, AccountMap, SystemConfig};
+use std::str::FromStr;
+
+/// How accounts are placed onto shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Balanced random placement with an explicit seed
+    /// ([`AccountMap::random`]).
+    Random(u64),
+    /// Deterministic round-robin placement ([`AccountMap::round_robin`]).
+    RoundRobin,
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Random(seed) => write!(f, "random:{seed}"),
+            Placement::RoundRobin => write!(f, "round-robin"),
+        }
+    }
+}
+
+impl FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.split_once(':') {
+            None if s == "round-robin" => Ok(Placement::RoundRobin),
+            Some(("random", seed)) => {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| format!("`{seed}` is not an integer"))?;
+                Ok(Placement::Random(seed))
+            }
+            _ => Err(format!(
+                "unknown placement `{s}` (expected random:SEED or round-robin)"
+            )),
+        }
+    }
+}
+
+/// The draft a scenario accumulates while assignments are applied: mostly
+/// typed, but `strategy` and `coloring` stay raw strings until the whole
+/// job is known, because their `auto` spellings resolve against `rounds`,
+/// `b`, and `shards`.
+#[derive(Debug, Clone)]
+pub(crate) struct JobDraft {
+    pub scheduler: SchedulerKind,
+    pub metric: MetricKind,
+    pub shards: usize,
+    pub accounts: Option<usize>,
+    pub k: usize,
+    pub nodes_per_shard: usize,
+    pub faulty_per_shard: usize,
+    pub placement: Placement,
+    pub rounds: u64,
+    pub rho: f64,
+    pub b: u64,
+    pub strategy: String,
+    pub shape: WorkloadShape,
+    pub seed: u64,
+    pub coloring: String,
+    pub rotate_leader: bool,
+    pub reschedule: bool,
+    pub pipeline_window: usize,
+    pub sublayers: usize,
+    pub epoch_scale: u64,
+    pub respect_capacity: bool,
+    pub check_order: bool,
+}
+
+impl Default for JobDraft {
+    fn default() -> Self {
+        JobDraft {
+            scheduler: SchedulerKind::Bds,
+            metric: MetricKind::Uniform,
+            shards: 64,
+            accounts: None,
+            k: 8,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+            placement: Placement::Random(1),
+            rounds: 8_000,
+            rho: 0.1,
+            b: 1,
+            strategy: "uniform".into(),
+            shape: WorkloadShape::WriteOnly,
+            seed: 42,
+            coloring: "greedy".into(),
+            rotate_leader: true,
+            reschedule: true,
+            pipeline_window: 16,
+            sublayers: 2,
+            epoch_scale: 1,
+            respect_capacity: true,
+            check_order: false,
+        }
+    }
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v {
+        "true" | "on" | "yes" => Ok(true),
+        "false" | "off" | "no" => Ok(false),
+        other => Err(format!("`{other}` is not a boolean (true/false)")),
+    }
+}
+
+fn parse_num<T: FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("`{v}` is not {what}"))
+}
+
+impl JobDraft {
+    /// Applies one `key = value` assignment. `name` and `description` are
+    /// handled by the parser, not here.
+    pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "scheduler" => self.scheduler = value.parse()?,
+            "metric" => self.metric = value.parse()?,
+            "shards" => self.shards = parse_num(value, "an integer")?,
+            "accounts" => self.accounts = Some(parse_num(value, "an integer")?),
+            "k" => self.k = parse_num(value, "an integer")?,
+            "nodes-per-shard" => self.nodes_per_shard = parse_num(value, "an integer")?,
+            "faulty-per-shard" => self.faulty_per_shard = parse_num(value, "an integer")?,
+            "placement" => self.placement = value.parse()?,
+            "rounds" => self.rounds = parse_num(value, "an integer")?,
+            "rho" => self.rho = parse_num(value, "a number")?,
+            "b" => self.b = parse_num(value, "an integer")?,
+            "strategy" => {
+                // Validate eagerly so a bad value is reported against its
+                // own line; `auto` spellings resolve later.
+                if value != "count-burst:auto" {
+                    value.parse::<StrategyKind>()?;
+                }
+                self.strategy = value.into();
+            }
+            "shape" => self.shape = value.parse()?,
+            "seed" => self.seed = parse_num(value, "an integer")?,
+            "coloring" => {
+                if value != "heavy-light:auto" {
+                    value.parse::<ColoringStrategy>()?;
+                }
+                self.coloring = value.into();
+            }
+            "rotate-leader" => self.rotate_leader = parse_bool(value)?,
+            "reschedule" => self.reschedule = parse_bool(value)?,
+            "pipeline-window" => self.pipeline_window = parse_num(value, "an integer")?,
+            "sublayers" => self.sublayers = parse_num(value, "an integer")?,
+            "epoch-scale" => self.epoch_scale = parse_num(value, "an integer")?,
+            "respect-capacity" => self.respect_capacity = parse_bool(value)?,
+            "check-order" => self.check_order = parse_bool(value)?,
+            other => return Err(format!("unknown key `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// Resolves the draft into a validated [`JobSpec`].
+    pub fn resolve(
+        &self,
+        scenario: &str,
+        index: usize,
+        overrides: Vec<(String, String)>,
+    ) -> Result<JobSpec, String> {
+        let accounts = self.accounts.unwrap_or(self.shards);
+        let strategy = if self.strategy == "count-burst:auto" {
+            StrategyKind::CountBurst {
+                burst_round: (self.rounds / 10).max(1),
+                count: self.b,
+            }
+        } else {
+            self.strategy.parse()?
+        };
+        let coloring = if self.coloring == "heavy-light:auto" {
+            ColoringStrategy::HeavyLight {
+                threshold: bounds::ceil_sqrt(self.shards),
+            }
+        } else {
+            self.coloring.parse()?
+        };
+        if !(self.rho > 0.0 && self.rho <= 1.0) {
+            return Err(format!("rho must satisfy 0 < rho <= 1, got {}", self.rho));
+        }
+        if self.b == 0 {
+            return Err("b must be >= 1".into());
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be >= 1".into());
+        }
+        if self.pipeline_window == 0 {
+            return Err("pipeline-window must be >= 1".into());
+        }
+        if self.sublayers == 0 {
+            return Err("sublayers must be >= 1".into());
+        }
+        if self.check_order && self.scheduler != SchedulerKind::Fds {
+            return Err(format!(
+                "check-order is only supported for scheduler = fds (job runs {})",
+                self.scheduler
+            ));
+        }
+        let spec = JobSpec {
+            scenario: scenario.to_string(),
+            index,
+            overrides,
+            scheduler: self.scheduler,
+            metric: self.metric,
+            shards: self.shards,
+            accounts,
+            k: self.k,
+            nodes_per_shard: self.nodes_per_shard,
+            faulty_per_shard: self.faulty_per_shard,
+            placement: self.placement,
+            rounds: self.rounds,
+            rho: self.rho,
+            b: self.b,
+            strategy,
+            shape: self.shape,
+            seed: self.seed,
+            coloring,
+            rotate_leader: self.rotate_leader,
+            reschedule: self.reschedule,
+            pipeline_window: self.pipeline_window,
+            sublayers: self.sublayers,
+            epoch_scale: self.epoch_scale,
+            respect_capacity: self.respect_capacity,
+            check_order: self.check_order,
+        };
+        spec.system_config().validate().map_err(|e| e.to_string())?;
+        spec.metric.build(spec.shards)?;
+        Ok(spec)
+    }
+}
+
+/// One fully resolved, validated sweep job: a pure description of a
+/// single simulation run. Running a `JobSpec` twice — on any thread —
+/// produces identical reports.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Name of the scenario this job came from.
+    pub scenario: String,
+    /// Position in the expanded plan (grid cross-product order).
+    pub index: usize,
+    /// The grid assignments that produced this job, in axis order —
+    /// `(key, value)` raw strings, used to label report rows.
+    pub overrides: Vec<(String, String)>,
+    /// Which scheduler runs the job.
+    pub scheduler: SchedulerKind,
+    /// Shard metric shape.
+    pub metric: MetricKind,
+    /// Number of shards `s`.
+    pub shards: usize,
+    /// Total shared accounts.
+    pub accounts: usize,
+    /// Max shards per transaction `k`.
+    pub k: usize,
+    /// Nodes per shard `n_i`.
+    pub nodes_per_shard: usize,
+    /// Byzantine nodes per shard `f_i`.
+    pub faulty_per_shard: usize,
+    /// Account placement.
+    pub placement: Placement,
+    /// Simulated rounds.
+    pub rounds: u64,
+    /// Injection rate `ρ`.
+    pub rho: f64,
+    /// Burstiness `b`.
+    pub b: u64,
+    /// Adversarial strategy (fully resolved).
+    pub strategy: StrategyKind,
+    /// Workload shape.
+    pub shape: WorkloadShape,
+    /// Adversary seed.
+    pub seed: u64,
+    /// Coloring algorithm (fully resolved).
+    pub coloring: ColoringStrategy,
+    /// BDS: rotate the epoch leader.
+    pub rotate_leader: bool,
+    /// FDS: enable rescheduling periods.
+    pub reschedule: bool,
+    /// FDS: vote pipeline window `W`.
+    pub pipeline_window: usize,
+    /// FDS: hierarchy sublayers `H2`.
+    pub sublayers: usize,
+    /// FDS: epoch scale constant `c`.
+    pub epoch_scale: u64,
+    /// FCFS: charge per-shard capacity.
+    pub respect_capacity: bool,
+    /// FDS: run the cross-shard serialization-order checker afterwards.
+    pub check_order: bool,
+}
+
+impl JobSpec {
+    /// The system configuration this job runs against.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            shards: self.shards,
+            nodes_per_shard: self.nodes_per_shard,
+            faulty_per_shard: self.faulty_per_shard,
+            k_max: self.k,
+            accounts: self.accounts,
+        }
+    }
+
+    /// The account placement map this job runs against.
+    pub fn account_map(&self) -> AccountMap {
+        let sys = self.system_config();
+        match self.placement {
+            Placement::Random(seed) => AccountMap::random(&sys, seed),
+            Placement::RoundRobin => AccountMap::round_robin(&sys),
+        }
+    }
+
+    /// The adversary configuration this job runs against.
+    pub fn adversary_config(&self) -> adversary::AdversaryConfig {
+        adversary::AdversaryConfig {
+            rho: self.rho,
+            burstiness: self.b,
+            strategy: self.strategy,
+            shape: self.shape,
+            seed: self.seed,
+        }
+    }
+
+    /// Compact human label: the grid overrides that produced this job,
+    /// or `"(base)"` when the plan has no grid.
+    pub fn label(&self) -> String {
+        if self.overrides.is_empty() {
+            "(base)".to_string()
+        } else {
+            self.overrides
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    }
+
+    /// One-line deterministic description, used by `blockshard plan` and
+    /// the golden parser tests.
+    pub fn plan_line(&self) -> String {
+        format!(
+            "job {:>3}: {} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} [{}]",
+            self.index,
+            self.scheduler,
+            self.metric,
+            self.shards,
+            self.k,
+            self.rounds,
+            self.rho,
+            self.b,
+            self.strategy,
+            self.shape,
+            self.seed,
+            self.label(),
+        )
+    }
+}

@@ -1,0 +1,53 @@
+//! The engine's central guarantee: a scenario's report is a pure function
+//! of the file plus its seeds — the worker-thread count must not change a
+//! single byte. This is the acceptance gate for the parallel executor.
+
+use scenario::{report, run_jobs, Scenario};
+use std::path::Path;
+
+fn checked_in(name: &str) -> Scenario {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name);
+    Scenario::load(&path).unwrap()
+}
+
+#[test]
+fn same_bytes_across_thread_counts() {
+    // The real checked-in CI smoke scenario, shortened: 3 jobs covering
+    // all three schedulers.
+    let scenario = checked_in("smoke.scenario");
+    let jobs = scenario
+        .jobs_with(&[("rounds".to_string(), "250".to_string())])
+        .unwrap();
+    assert!(jobs.len() >= 2, "needs a plan wide enough to parallelize");
+
+    let single = run_jobs(&jobs, 1, false);
+    let csv1 = report::csv_string(&single);
+    let jsonl1 = report::jsonl_string(&single);
+
+    for threads in [2, 4] {
+        let multi = run_jobs(&jobs, threads, false);
+        assert_eq!(
+            csv1,
+            report::csv_string(&multi),
+            "CSV bytes changed at {threads} threads"
+        );
+        assert_eq!(
+            jsonl1,
+            report::jsonl_string(&multi),
+            "JSONL bytes changed at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn rerun_is_reproducible() {
+    let scenario = checked_in("dos_burst.scenario");
+    let jobs = scenario
+        .jobs_with(&[("rounds".to_string(), "200".to_string())])
+        .unwrap();
+    let a = run_jobs(&jobs, 2, false);
+    let b = run_jobs(&jobs, 3, false);
+    assert_eq!(report::csv_string(&a), report::csv_string(&b));
+}

@@ -1,0 +1,85 @@
+//! Golden-file coverage for the scenario parser and planner: each
+//! `tests/golden/X.scenario` must expand to exactly the plan recorded in
+//! `tests/golden/X.plan`. Regenerate a plan after an intentional format
+//! change with:
+//!
+//! ```sh
+//! cargo run --bin blockshard -- plan crates/scenario/tests/golden/X.scenario \
+//!     > crates/scenario/tests/golden/X.plan
+//! ```
+
+use scenario::Scenario;
+use std::path::Path;
+
+fn check_golden(name: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let s = Scenario::load(&dir.join(format!("{name}.scenario"))).unwrap();
+    let jobs = s.jobs().unwrap();
+    let got = s.plan_string(&jobs);
+    let want = std::fs::read_to_string(dir.join(format!("{name}.plan"))).unwrap();
+    assert_eq!(
+        got, want,
+        "plan for `{name}` drifted from its golden file (see module docs to regenerate)"
+    );
+}
+
+#[test]
+fn sweep_scenario_matches_golden_plan() {
+    check_golden("sweep");
+}
+
+#[test]
+fn flat_scenario_matches_golden_plan() {
+    check_golden("flat");
+}
+
+#[test]
+fn every_checked_in_scenario_parses_and_plans() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ exists at the repo root") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "scenario") {
+            let s = Scenario::load(&path).unwrap_or_else(|e| panic!("{e}"));
+            let jobs = s.jobs().unwrap_or_else(|e| panic!("{e}"));
+            assert!(!jobs.is_empty(), "{}: empty plan", path.display());
+            count += 1;
+        }
+    }
+    assert!(
+        count >= 14,
+        "expected the shipped scenario set, found {count}"
+    );
+}
+
+#[test]
+fn malformed_inputs_fail_with_context() {
+    let cases: &[(&str, &str)] = &[
+        ("rho = 0.1\n", "no `name =`"),
+        ("name = x\nk = 99\n", "k must satisfy"),
+        ("name = x\n[grid]\nrho =\n", "no values"),
+        ("name = x\nstrategy = zipf\n", "takes 1"),
+        ("name = x\nscheduler = pbft\n", "unknown scheduler"),
+        ("name = x\nmetric = torus\n", "unknown metric"),
+        ("name = x\nrho = 1.5\n", "0 < rho <= 1"),
+        ("name = x\njust-a-line\n", "expected `key = value`"),
+        ("name = x\n[grid]\nname = a, b\n", "cannot be a grid axis"),
+        (
+            "name = x\n[grid]\nrho = 0.1\nrho = 0.2\n",
+            "duplicate grid axis",
+        ),
+    ];
+    for (text, needle) in cases {
+        let err = match Scenario::parse_str(text, "<golden>") {
+            Err(e) => e.to_string(),
+            Ok(s) => match s.jobs() {
+                Err(e) => e.to_string(),
+                Ok(_) => panic!("input unexpectedly valid: {text:?}"),
+            },
+        };
+        assert!(
+            err.contains(needle),
+            "error for {text:?} should mention {needle:?}, got: {err}"
+        );
+    }
+}

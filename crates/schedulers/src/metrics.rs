@@ -27,6 +27,23 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    /// Parses the scenario-file spelling, case-insensitively: `bds`,
+    /// `fds`, or `fcfs`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "bds" => Ok(SchedulerKind::Bds),
+            "fds" => Ok(SchedulerKind::Fds),
+            "fcfs" => Ok(SchedulerKind::Fcfs),
+            other => Err(format!(
+                "unknown scheduler `{other}` (expected bds, fds, or fcfs)"
+            )),
+        }
+    }
+}
+
 /// The full measurement record of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -210,6 +227,17 @@ impl MetricsCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scheduler_kind_parses_case_insensitively() {
+        assert_eq!("bds".parse::<SchedulerKind>().unwrap(), SchedulerKind::Bds);
+        assert_eq!("FDS".parse::<SchedulerKind>().unwrap(), SchedulerKind::Fds);
+        assert_eq!(
+            "Fcfs".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Fcfs
+        );
+        assert!("pbft".parse::<SchedulerKind>().is_err());
+    }
 
     #[test]
     fn collector_aggregates() {

@@ -19,6 +19,12 @@
 //!   including condition checking (the "condition + action" split of the
 //!   paper's subtransactions).
 //!
+//! The [`network`] layer's counters (messages sent, largest payload)
+//! surface in every `RunReport` and therefore in the `messages` /
+//! `max_message_bytes` columns of the scenario engine's CSV/JSONL
+//! reports — message costs are measured at this layer, never estimated
+//! by the schedulers themselves.
+//!
 //! [`ShardMetric`]: cluster::ShardMetric
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,14 @@
+//! The `blockshard` CLI: run, plan, check, and list declarative
+//! `.scenario` sweep files. All logic lives in [`scenario::cli`]; this
+//! binary only forwards the arguments.
+//!
+//! ```sh
+//! cargo run --release --bin blockshard -- run scenarios/fig2_quick.scenario
+//! cargo run --release --bin blockshard -- plan scenarios/ablation_window.scenario
+//! cargo run --release --bin blockshard -- list
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(scenario::cli::run(&args));
+}

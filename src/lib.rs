@@ -8,7 +8,10 @@
 //! regenerates the paper's figures.
 //!
 //! This crate is a facade: it re-exports the workspace crates under stable
-//! module names. See [README.md] for the project overview and quickstart,
+//! module names, and ships the `blockshard` CLI binary that drives
+//! declarative `.scenario` sweep files through the [`scenario`] engine
+//! (`cargo run --bin blockshard -- run scenarios/fig2_quick.scenario`).
+//! See [README.md] for the project overview and quickstart,
 //! [DESIGN.md] for the architecture (crate graph, BDS epoch pipeline, FDS
 //! hierarchy and heights ordering), and [EXPERIMENTS.md] for
 //! paper-vs-measured results — all three live at the repo root and are
@@ -58,14 +61,16 @@ pub use adversary;
 pub use cluster;
 pub use conflict;
 pub use runtime;
+pub use scenario;
 pub use schedulers;
 pub use sharding_core as core_types;
 pub use simnet;
 
 /// Convenience re-exports covering the common experiment workflow.
 pub mod prelude {
-    pub use adversary::{AdversaryConfig, StrategyKind};
-    pub use cluster::{LineMetric, ShardMetric, UniformMetric};
+    pub use adversary::{AdversaryConfig, StrategyKind, WorkloadShape};
+    pub use cluster::{LineMetric, MetricKind, ShardMetric, UniformMetric};
+    pub use scenario::{run_jobs, JobOutcome, JobSpec, Scenario};
     pub use schedulers::{
         run_bds, run_bds_with_metric, run_fds, BdsConfig, FdsConfig, RunReport, SchedulerKind,
     };
