@@ -2,30 +2,48 @@
 //! line (distance = index gap, clusters of 2, 4, …, 64 shards with
 //! half-diameter-shifted sublayers).
 //!
-//! Left panel: average pending scheduled transactions (scheduled but not
-//! committed) vs ρ. Right panel: average transaction latency vs ρ.
+//! A thin wrapper over the scenario engine: the grid lives in
+//! `scenarios/fig3_quick.scenario` / `scenarios/fig3_full.scenario`, runs
+//! on a worker pool, and this binary only renders the ASCII panels and
+//! the paper checkpoints.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig3            # quick grid
 //! cargo run --release -p bench --bin fig3 -- --full  # paper grid, 25k rounds
 //! ```
+//!
+//! Also accepts `--rounds N`, `--out DIR`, `--threads N`. Equivalent to
+//! `blockshard run scenarios/fig3_quick.scenario` plus the rendering.
 
-use bench::{ascii_bars, ascii_table, sweep_fds, write_csv, Opts};
-use sharding_core::{AccountMap, SystemConfig};
+use bench::{ascii_bars, ascii_table, Cell};
+use scenario::cli::BinArgs;
+use scenario::report;
 
 fn main() {
-    let opts = Opts::parse(8_000);
-    let sys = SystemConfig::paper_simulation();
-    let map = AccountMap::random(&sys, 1);
+    let args = BinArgs::parse();
+    let scenario = args.load_variant("fig3");
     eprintln!(
-        "Figure 3 sweep: FDS, line of 64 shards, k=8, {} rounds, rho {:?}, b {:?}",
-        opts.rounds,
-        opts.rho_grid(),
-        opts.b_grid()
+        "Figure 3 sweep: FDS, line of 64 shards, k=8 ({})",
+        scenario.description
     );
+    let outcomes = args.execute(&scenario);
 
-    let cells = sweep_fds(&sys, &map, &opts);
-    write_csv(&opts.out.join("fig3.csv"), &cells).expect("write fig3.csv");
+    let csv = args.out.join(format!("{}.csv", scenario.name));
+    report::write_report(&csv, &report::csv_string(&outcomes)).expect("write fig3 csv");
+    report::write_report(
+        &args.out.join(format!("{}.jsonl", scenario.name)),
+        &report::jsonl_string(&outcomes),
+    )
+    .expect("write fig3 jsonl");
+
+    let cells: Vec<Cell> = outcomes
+        .iter()
+        .map(|o| Cell {
+            rho: o.spec.rho,
+            b: o.spec.b,
+            report: o.report.clone(),
+        })
+        .collect();
 
     println!(
         "\n{}",
@@ -49,5 +67,5 @@ fn main() {
     println!("  - no blow-up up to rho ≈ 0.18; latency < 1000 rounds for rho <= 0.18;");
     println!("  - at b=3000, rho=0.27: pending ≈ 175 (≈4x BDS), latency ≈ 7000 (≈3x BDS);");
     println!("  - FDS degrades faster than BDS beyond its threshold (distance penalty).");
-    println!("CSV written to {}", opts.out.join("fig3.csv").display());
+    println!("CSV written to {}", csv.display());
 }

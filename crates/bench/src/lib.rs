@@ -7,8 +7,9 @@
 //!
 //! The grid definitions themselves are migrating into declarative
 //! `.scenario` files under `scenarios/` driven by the [`scenario`] engine
-//! (`fig2`, `table_t1`, and `ablations` are already thin wrappers; the
-//! rest still use the in-crate [`Opts`] sweeps). Every binary accepts:
+//! (`fig2`, `fig3`, `table_t1`, and `ablations` are already thin
+//! wrappers; `table_t2`, `table_t3`, and `frontier` still use the
+//! in-crate [`Opts`] sweeps). Every binary accepts:
 //!
 //! * `--full` — run the paper-scale grid (25 000 rounds, the full ρ and b
 //!   grids). Without it a reduced "quick" grid runs in a few minutes on a
@@ -24,11 +25,7 @@
 #![warn(missing_docs)]
 
 use adversary::{AdversaryConfig, StrategyKind};
-use cluster::LineMetric;
-use schedulers::bds::{run_bds_with_metric, BdsConfig};
-use schedulers::fds::{run_fds, FdsConfig};
 use schedulers::RunReport;
-use sharding_core::{AccountMap, Round, SystemConfig};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -115,50 +112,6 @@ pub fn paper_workload(rho: f64, b: u64, seed: u64, rounds: u64) -> AdversaryConf
         seed,
         ..Default::default()
     }
-}
-
-/// Runs the Figure 2 sweep (BDS, uniform model).
-pub fn sweep_bds(sys: &SystemConfig, map: &AccountMap, opts: &Opts) -> Vec<Cell> {
-    let metric = cluster::UniformMetric::new(sys.shards);
-    let mut cells = Vec::new();
-    for &b in &opts.b_grid() {
-        for &rho in &opts.rho_grid() {
-            let adv = paper_workload(rho, b, 42, opts.rounds);
-            let report = run_bds_with_metric(
-                sys,
-                map,
-                &adv,
-                Round(opts.rounds),
-                &metric,
-                BdsConfig::default(),
-            );
-            eprintln!("  [fig2] rho={rho:.2} b={b}: {}", report.summary());
-            cells.push(Cell { rho, b, report });
-        }
-    }
-    cells
-}
-
-/// Runs the Figure 3 sweep (FDS, 64-shard line).
-pub fn sweep_fds(sys: &SystemConfig, map: &AccountMap, opts: &Opts) -> Vec<Cell> {
-    let metric = LineMetric::new(sys.shards);
-    let mut cells = Vec::new();
-    for &b in &opts.b_grid() {
-        for &rho in &opts.rho_grid() {
-            let adv = paper_workload(rho, b, 42, opts.rounds);
-            let report = run_fds(
-                sys,
-                map,
-                &adv,
-                Round(opts.rounds),
-                &metric,
-                FdsConfig::default(),
-            );
-            eprintln!("  [fig3] rho={rho:.2} b={b}: {}", report.summary());
-            cells.push(Cell { rho, b, report });
-        }
-    }
-    cells
 }
 
 /// Writes sweep cells as CSV.

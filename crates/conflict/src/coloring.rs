@@ -160,6 +160,83 @@ pub fn greedy_by_order(graph: &ConflictGraph, order: &[u32]) -> Coloring {
     Coloring { colors, num_colors }
 }
 
+/// Grow-on-demand bitset over colors.
+#[derive(Debug, Default, Clone)]
+struct ColorSet {
+    words: Vec<u64>,
+}
+
+impl ColorSet {
+    fn insert(&mut self, c: u32) {
+        let w = (c / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (c % 64);
+    }
+
+    fn or_into(&self, acc: &mut Vec<u64>) {
+        if self.words.len() > acc.len() {
+            acc.resize(self.words.len(), 0);
+        }
+        for (a, w) in acc.iter_mut().zip(&self.words) {
+            *a |= w;
+        }
+    }
+}
+
+/// Reusable working memory for [`greedy_by_accounts_with`].
+///
+/// The per-account color sets are dense arrays indexed by
+/// `AccountId::index()` (account ids in this system are `0..accounts`),
+/// with an epoch stamp per account so starting a new batch is O(1): a
+/// stale entry is cleared lazily the first time the new batch touches
+/// that account. Schedulers keep one scratch per simulation and color
+/// every epoch through it, eliminating all per-epoch map allocations
+/// from the coloring hot path.
+#[derive(Debug, Default, Clone)]
+pub struct ColoringScratch {
+    /// Batch counter; entries whose stamp is older belong to a previous
+    /// batch and read as empty.
+    stamp: u64,
+    /// Per-account stamp of the last batch that touched it.
+    stamps: Vec<u64>,
+    /// Per-account colors used by earlier writers (current batch).
+    writers: Vec<ColorSet>,
+    /// Per-account colors used by earlier readers (current batch).
+    readers: Vec<ColorSet>,
+    /// Forbidden-color accumulator for the transaction being colored.
+    forbidden: Vec<u64>,
+}
+
+impl ColoringScratch {
+    /// Creates an empty scratch; it grows to fit the account space on
+    /// first use. `with_accounts` pre-sizes it when the count is known.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for accounts `0..accounts`.
+    pub fn with_accounts(accounts: usize) -> Self {
+        ColoringScratch {
+            stamp: 0,
+            stamps: vec![0; accounts],
+            writers: vec![ColorSet::default(); accounts],
+            readers: vec![ColorSet::default(); accounts],
+            forbidden: Vec::new(),
+        }
+    }
+
+    /// Grows the per-account arrays to cover index `idx`.
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.stamps.len() {
+            self.stamps.resize(idx + 1, 0);
+            self.writers.resize(idx + 1, ColorSet::default());
+            self.readers.resize(idx + 1, ColorSet::default());
+        }
+    }
+}
+
 /// First-fit greedy coloring computed directly from the transactions'
 /// access sets, without materializing the conflict graph.
 ///
@@ -171,58 +248,35 @@ pub fn greedy_by_order(graph: &ConflictGraph, order: &[u32]) -> Coloring {
 /// per-account cliques, which matters for unstable runs where epoch
 /// batches reach tens of thousands of mutually conflicting transactions.
 pub fn greedy_by_accounts(txns: &[Transaction]) -> Coloring {
+    greedy_by_accounts_with(txns, &mut ColoringScratch::new())
+}
+
+/// [`greedy_by_accounts`] against caller-owned working memory — the
+/// scheduler hot path. The result is identical; only allocations differ.
+pub fn greedy_by_accounts_with(txns: &[Transaction], scratch: &mut ColoringScratch) -> Coloring {
     use sharding_core::txn::AccessKind;
-    use sharding_core::AccountId;
-    use std::collections::BTreeMap;
 
-    /// Grow-on-demand bitset over colors.
-    #[derive(Default)]
-    struct ColorSet {
-        words: Vec<u64>,
-    }
-    impl ColorSet {
-        fn insert(&mut self, c: u32) {
-            let w = (c / 64) as usize;
-            if w >= self.words.len() {
-                self.words.resize(w + 1, 0);
-            }
-            self.words[w] |= 1 << (c % 64);
-        }
-        fn or_into(&self, acc: &mut Vec<u64>) {
-            if self.words.len() > acc.len() {
-                acc.resize(self.words.len(), 0);
-            }
-            for (a, w) in acc.iter_mut().zip(&self.words) {
-                *a |= w;
-            }
-        }
-    }
-
-    #[derive(Default)]
-    struct AccountColors {
-        writers: ColorSet,
-        readers: ColorSet,
-    }
-
-    let mut per_account: BTreeMap<AccountId, AccountColors> = BTreeMap::new();
+    scratch.stamp += 1;
+    let stamp = scratch.stamp;
     let mut colors = Vec::with_capacity(txns.len());
     let mut num_colors = 0u32;
-    let mut forbidden: Vec<u64> = Vec::new();
     for t in txns {
-        forbidden.clear();
+        scratch.forbidden.clear();
         for a in t.accesses() {
-            if let Some(ac) = per_account.get(&a.account) {
+            let idx = a.account.index();
+            scratch.ensure(idx);
+            if scratch.stamps[idx] == stamp {
                 // Anyone conflicts with earlier writers; a writer also
                 // conflicts with earlier readers.
-                ac.writers.or_into(&mut forbidden);
+                scratch.writers[idx].or_into(&mut scratch.forbidden);
                 if a.kind == AccessKind::Write {
-                    ac.readers.or_into(&mut forbidden);
+                    scratch.readers[idx].or_into(&mut scratch.forbidden);
                 }
             }
         }
         // Smallest color absent from `forbidden`.
         let mut c = 0u32;
-        'search: for (w, &word) in forbidden.iter().enumerate() {
+        'search: for (w, &word) in scratch.forbidden.iter().enumerate() {
             if word != u64::MAX {
                 c = w as u32 * 64 + (!word).trailing_zeros();
                 break 'search;
@@ -232,10 +286,15 @@ pub fn greedy_by_accounts(txns: &[Transaction]) -> Coloring {
         colors.push(c);
         num_colors = num_colors.max(c + 1);
         for a in t.accesses() {
-            let ac = per_account.entry(a.account).or_default();
+            let idx = a.account.index();
+            if scratch.stamps[idx] != stamp {
+                scratch.stamps[idx] = stamp;
+                scratch.writers[idx].words.clear();
+                scratch.readers[idx].words.clear();
+            }
             match a.kind {
-                AccessKind::Write => ac.writers.insert(c),
-                AccessKind::Read => ac.readers.insert(c),
+                AccessKind::Write => scratch.writers[idx].insert(c),
+                AccessKind::Read => scratch.readers[idx].insert(c),
             }
         }
     }
@@ -245,8 +304,19 @@ pub fn greedy_by_accounts(txns: &[Transaction]) -> Coloring {
 /// Colors a transaction batch with `strategy`, choosing the edge-free
 /// greedy path when possible (the scheduler hot path).
 pub fn color_transactions(strategy: ColoringStrategy, txns: &[Transaction]) -> Coloring {
+    color_transactions_with(strategy, txns, &mut ColoringScratch::new())
+}
+
+/// [`color_transactions`] against caller-owned working memory; the
+/// greedy path reuses `scratch` across batches, the others ignore it
+/// (they materialize the graph anyway).
+pub fn color_transactions_with(
+    strategy: ColoringStrategy,
+    txns: &[Transaction],
+    scratch: &mut ColoringScratch,
+) -> Coloring {
     match strategy {
-        ColoringStrategy::Greedy => greedy_by_accounts(txns),
+        ColoringStrategy::Greedy => greedy_by_accounts_with(txns, scratch),
         other => {
             let graph = crate::graph::ConflictGraph::build(txns);
             color_with(other, &graph, txns)
@@ -561,6 +631,20 @@ mod tests {
             let via_graph = greedy_by_order(&g, &order);
             let via_accounts = greedy_by_accounts(&txns);
             assert_eq!(via_graph.colors(), via_accounts.colors(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_matches_fresh_coloring() {
+        // One scratch colored through many different batches must give
+        // the same answer as a fresh scratch per batch: the stamp reset
+        // may not leak colors between batches.
+        let mut scratch = ColoringScratch::with_accounts(4);
+        for seed in 0..8 {
+            let (txns, _) = mixed_txns(seed + 200, 50, 16);
+            let reused = greedy_by_accounts_with(&txns, &mut scratch);
+            let fresh = greedy_by_accounts(&txns);
+            assert_eq!(reused.colors(), fresh.colors(), "seed {seed}");
         }
     }
 

@@ -7,8 +7,6 @@
 //! one writer, which is linear in the total access volume plus output size.
 
 use sharding_core::txn::{AccessKind, Transaction};
-use sharding_core::AccountId;
-use std::collections::BTreeMap;
 
 /// An undirected conflict graph over a batch of transactions.
 ///
@@ -26,11 +24,18 @@ impl ConflictGraph {
     ///
     /// Two transactions are adjacent iff they access a common account and at
     /// least one of the two writes it (Section 3 of the paper).
+    ///
+    /// Account ids in this system are dense small integers (`0..accounts`),
+    /// so occurrences are grouped with a counting sort over flat arrays —
+    /// no per-account tree nodes, and bucket scans are contiguous. A
+    /// comparison sort backs it up for the (unexpected) sparse-id case so
+    /// a stray huge id cannot allocate a huge table.
     pub fn build(txns: &[Transaction]) -> Self {
-        // Per-account occurrence lists: (txn index, wrote?).
-        let mut buckets: BTreeMap<AccountId, Vec<(u32, bool)>> = BTreeMap::new();
+        // Collapse each transaction's sorted access list into one
+        // (account, txn index, wrote?) entry per touched account.
+        let mut entries: Vec<(u64, u32, bool)> = Vec::new();
+        let mut max_id = 0u64;
         for (i, t) in txns.iter().enumerate() {
-            // Access lists are sorted by (account, kind); collapse per account.
             let mut iter = t.accesses().iter().peekable();
             while let Some(first) = iter.next() {
                 let acct = first.account;
@@ -42,19 +47,56 @@ impl ConflictGraph {
                     wrote |= next.kind == AccessKind::Write;
                     iter.next();
                 }
-                buckets.entry(acct).or_default().push((i as u32, wrote));
+                max_id = max_id.max(acct.raw());
+                entries.push((acct.raw(), i as u32, wrote));
             }
         }
 
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); txns.len()];
-        for occupants in buckets.values() {
+        // Group entries by account, ascending. Dense path: counting sort
+        // (stable, so per-account order stays txn-index order, exactly like
+        // the insertion order of the old per-account map).
+        let dense = (max_id as usize) < entries.len().saturating_mul(8) + 1024;
+        if dense {
+            let buckets = max_id as usize + 1;
+            let mut starts = vec![0u32; buckets + 1];
+            for &(a, _, _) in &entries {
+                starts[a as usize + 1] += 1;
+            }
+            for b in 0..buckets {
+                starts[b + 1] += starts[b];
+            }
+            let mut slots: Vec<(u32, bool)> = vec![(0, false); entries.len()];
+            let mut cursor = starts.clone();
+            for &(a, i, w) in &entries {
+                let c = &mut cursor[a as usize];
+                slots[*c as usize] = (i, w);
+                *c += 1;
+            }
+            let groups = (0..buckets)
+                .map(|b| &slots[starts[b] as usize..starts[b + 1] as usize])
+                .filter(|g| !g.is_empty());
+            Self::from_account_groups(txns.len(), groups)
+        } else {
+            entries.sort_unstable();
+            let groups: Vec<Vec<(u32, bool)>> = entries
+                .chunk_by(|x, y| x.0 == y.0)
+                .map(|chunk| chunk.iter().map(|&(_, i, w)| (i, w)).collect())
+                .collect();
+            Self::from_account_groups(txns.len(), groups.iter().map(Vec::as_slice))
+        }
+    }
+
+    /// Shared tail of [`ConflictGraph::build`]: turns per-account
+    /// occurrence groups (ascending account order, `(txn index, wrote?)`)
+    /// into the adjacency lists.
+    fn from_account_groups<'a>(n: usize, groups: impl Iterator<Item = &'a [(u32, bool)]>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut writers: Vec<u32> = Vec::new();
+        for occupants in groups {
             // Writers conflict with everyone in the bucket; readers conflict
             // only with writers.
-            let writers: Vec<u32> = occupants
-                .iter()
-                .filter(|(_, w)| *w)
-                .map(|(i, _)| *i)
-                .collect();
+            writers.clear();
+            writers.extend(occupants.iter().filter(|(_, w)| *w).map(|(i, _)| *i));
             if writers.is_empty() {
                 continue;
             }
@@ -241,6 +283,35 @@ mod tests {
         let b = writer(&map, 1, &[0, 1]);
         let g = ConflictGraph::build(&[a, b]);
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn sparse_account_ids_take_the_sort_path_and_match() {
+        // A huge account space with a handful of accesses forces the
+        // comparison-sort fallback; the graph must match the pairwise
+        // predicate exactly like the dense path does.
+        let cfg = SystemConfig {
+            shards: 4,
+            accounts: 1_000_000,
+            k_max: 4,
+            ..SystemConfig::tiny()
+        };
+        let map = AccountMap::round_robin(&cfg);
+        let txns = vec![
+            writer(&map, 0, &[0, 999_999]),
+            writer(&map, 1, &[999_999]),
+            writer(&map, 2, &[500_000]),
+            reader(&map, 3, &[0], 500_000),
+        ];
+        let g = ConflictGraph::build(&txns);
+        for i in 0..txns.len() {
+            for j in 0..txns.len() {
+                if i != j {
+                    assert_eq!(g.are_adjacent(i, j), txns[i].conflicts_with(&txns[j]));
+                }
+            }
+        }
+        assert_eq!(g.edge_count(), 3);
     }
 
     #[test]

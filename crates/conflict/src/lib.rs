@@ -23,7 +23,8 @@ pub mod coloring;
 pub mod graph;
 
 pub use coloring::{
-    color_transactions, color_with, dsatur, greedy_by_accounts, greedy_by_order, heavy_light,
-    Coloring, ColoringStrategy,
+    color_transactions, color_transactions_with, color_with, dsatur, greedy_by_accounts,
+    greedy_by_accounts_with, greedy_by_order, heavy_light, Coloring, ColoringScratch,
+    ColoringStrategy,
 };
 pub use graph::ConflictGraph;

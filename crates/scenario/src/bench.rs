@@ -1,0 +1,613 @@
+//! The `blockshard bench` subsystem: deterministic performance fixtures
+//! with machine-readable output.
+//!
+//! Two fixture kinds:
+//!
+//! * **micro** — the scheduler inner loops ([`schedulers::bds::BdsSim`]
+//!   and [`schedulers::fds::FdsSim`]) stepped over a pre-generated
+//!   adversarial workload, so the timed region is exactly the per-round
+//!   scheduler cost (injection, message handling, coloring, dispatch,
+//!   metrics) with transaction *generation* excluded.
+//! * **scenario** — end-to-end throughput of checked-in `.scenario`
+//!   files (`smoke`, `dos_burst`, `hotspot_skew`) through the regular
+//!   planner + executor, single-threaded for stable timing.
+//!
+//! Every fixture runs `warmup` untimed iterations followed by `repeats`
+//! timed ones; the report records the **median** ns/round and the
+//! min–max **spread** so one noisy CI neighbor cannot fake a regression.
+//! All simulation inputs are fixed seeds: two runs produce identical job
+//! plans and identical op/txn counts — only the wall-clock fields differ
+//! (pinned by `tests/bench_determinism.rs`).
+//!
+//! The JSON schema (`blockshard-bench/v1`) is written by
+//! [`render_json`] and read back by [`parse_baseline`]; CI stores one
+//! run as `BENCH_baseline.json` and fails when a later run regresses any
+//! fixture's median by more than `--max-regression`.
+
+use crate::exec::run_jobs;
+use crate::parse::Scenario;
+use adversary::{Adversary, AdversaryConfig, StrategyKind};
+use cluster::LineMetric;
+use schedulers::bds::{BdsConfig, BdsSim};
+use schedulers::fds::{FdsConfig, FdsSim};
+use sharding_core::{AccountMap, Round, SystemConfig, Transaction};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Options of one `blockshard bench` invocation.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Shrink every fixture to CI size (fewer rounds, fewer repeats).
+    pub quick: bool,
+    /// Timed iterations per fixture (median is reported).
+    pub repeats: usize,
+    /// Untimed warmup iterations per fixture.
+    pub warmup: usize,
+    /// Only run fixtures whose name contains one of these substrings
+    /// (empty = all).
+    pub filter: Vec<String>,
+    /// Directory holding the checked-in `.scenario` files.
+    pub scenarios_dir: PathBuf,
+}
+
+impl BenchOpts {
+    /// The default full-size options.
+    pub fn full() -> Self {
+        BenchOpts {
+            quick: false,
+            repeats: 5,
+            warmup: 1,
+            filter: Vec::new(),
+            scenarios_dir: PathBuf::from("scenarios"),
+        }
+    }
+
+    /// The `--quick` CI-size options.
+    pub fn quick() -> Self {
+        BenchOpts {
+            quick: true,
+            repeats: 3,
+            ..Self::full()
+        }
+    }
+}
+
+/// What a fixture measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixtureKind {
+    /// A scheduler inner loop stepped directly (generation excluded).
+    Micro,
+    /// A checked-in scenario through the planner + executor.
+    Scenario,
+}
+
+impl std::fmt::Display for FixtureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixtureKind::Micro => write!(f, "micro"),
+            FixtureKind::Scenario => write!(f, "scenario"),
+        }
+    }
+}
+
+/// The measured result of one fixture.
+#[derive(Debug, Clone)]
+pub struct FixtureResult {
+    /// Fixture name (stable across runs; keys baseline comparison).
+    pub name: String,
+    /// Micro or end-to-end scenario.
+    pub kind: FixtureKind,
+    /// Simulated rounds per timed iteration (summed over jobs).
+    pub rounds: u64,
+    /// Jobs per iteration (1 for micro fixtures).
+    pub jobs: u64,
+    /// Transactions generated per iteration (deterministic).
+    pub generated: u64,
+    /// Transactions committed per iteration (deterministic).
+    pub committed: u64,
+    /// One wall-clock sample per timed iteration, in ns/round.
+    pub ns_per_round: Vec<f64>,
+}
+
+impl FixtureResult {
+    /// Median ns/round over the timed iterations.
+    pub fn median_ns_per_round(&self) -> f64 {
+        median(&self.ns_per_round)
+    }
+
+    /// Min–max spread of the samples as a percentage of the median.
+    pub fn spread_pct(&self) -> f64 {
+        let med = self.median_ns_per_round();
+        if med <= 0.0 || self.ns_per_round.is_empty() {
+            return 0.0;
+        }
+        let min = self.ns_per_round.iter().cloned().fold(f64::MAX, f64::min);
+        let max = self.ns_per_round.iter().cloned().fold(0.0f64, f64::max);
+        (max - min) / med * 100.0
+    }
+
+    /// Committed transactions per second at the median round cost.
+    pub fn txns_per_sec(&self) -> f64 {
+        let med = self.median_ns_per_round();
+        if med <= 0.0 || self.rounds == 0 {
+            return 0.0;
+        }
+        let secs = med * self.rounds as f64 / 1e9;
+        self.committed as f64 / secs.max(1e-12)
+    }
+}
+
+fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// A micro fixture: a scheduler stepped over pre-generated rounds.
+struct MicroFixture {
+    name: &'static str,
+    rounds: u64,
+    sys: SystemConfig,
+    map: AccountMap,
+    batches: Vec<Vec<Transaction>>,
+    scheduler: MicroScheduler,
+}
+
+enum MicroScheduler {
+    Bds,
+    Fds,
+}
+
+/// The fixed microbench workload: a moderate steady rate with small
+/// bursts, high enough to keep every epoch busy but stable, so the
+/// per-round cost is dominated by real scheduling work.
+fn micro_adversary(seed: u64) -> AdversaryConfig {
+    AdversaryConfig {
+        rho: 0.15,
+        burstiness: 8,
+        strategy: StrategyKind::UniformRandom,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
+    let rounds = if opts.quick { 1_500 } else { 6_000 };
+    let sys = SystemConfig {
+        shards: 32,
+        accounts: 32,
+        k_max: 8,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::random(&sys, 1);
+    // Pre-generate the whole injection schedule once per fixture so the
+    // timed loop excludes the adversary's RNG work.
+    let batches = |seed: u64| -> Vec<Vec<Transaction>> {
+        let mut adv = Adversary::new(&sys, &map, micro_adversary(seed));
+        (0..rounds).map(|r| adv.generate(Round(r))).collect()
+    };
+    let bds_batches = batches(7);
+    let fds_batches = batches(11);
+    vec![
+        MicroFixture {
+            name: "bds_inner",
+            rounds,
+            sys: sys.clone(),
+            map: map.clone(),
+            batches: bds_batches,
+            scheduler: MicroScheduler::Bds,
+        },
+        MicroFixture {
+            name: "fds_inner",
+            rounds,
+            sys,
+            map,
+            batches: fds_batches,
+            scheduler: MicroScheduler::Fds,
+        },
+    ]
+}
+
+impl MicroFixture {
+    /// One full iteration: build the simulator, step every pre-generated
+    /// batch, and return (elapsed ns over the step loop, generated,
+    /// committed).
+    fn run_once(&self) -> (u64, u64, u64) {
+        match self.scheduler {
+            MicroScheduler::Bds => {
+                let mut sim = BdsSim::new(&self.sys, &self.map, BdsConfig::default());
+                let start = Instant::now();
+                for batch in &self.batches {
+                    sim.step(batch.clone());
+                }
+                let ns = start.elapsed().as_nanos() as u64;
+                let r = sim.finish();
+                (ns, r.generated, r.committed)
+            }
+            MicroScheduler::Fds => {
+                let metric = LineMetric::new(self.sys.shards);
+                let mut sim = FdsSim::new(&self.sys, &self.map, FdsConfig::default(), &metric);
+                let start = Instant::now();
+                for batch in &self.batches {
+                    sim.step(batch.clone());
+                }
+                let ns = start.elapsed().as_nanos() as u64;
+                let r = sim.finish();
+                (ns, r.generated, r.committed)
+            }
+        }
+    }
+}
+
+/// The checked-in scenarios benchmarked end-to-end.
+const SCENARIO_FIXTURES: &[&str] = &["smoke", "dos_burst", "hotspot_skew"];
+
+/// Runs every selected fixture and returns the results in fixture order.
+///
+/// Fails with a readable message when a scenario file is missing (the
+/// CLI runs from the repo root; tests pass an explicit directory).
+pub fn run_fixtures(opts: &BenchOpts) -> Result<Vec<FixtureResult>, String> {
+    let selected = |name: &str| -> bool {
+        opts.filter.is_empty() || opts.filter.iter().any(|f| name.contains(f.as_str()))
+    };
+    let mut results = Vec::new();
+
+    for fx in micro_fixtures(opts) {
+        if !selected(fx.name) {
+            continue;
+        }
+        let mut samples = Vec::with_capacity(opts.repeats);
+        let mut counts = (0u64, 0u64);
+        for _ in 0..opts.warmup {
+            fx.run_once();
+        }
+        for _ in 0..opts.repeats.max(1) {
+            let (ns, generated, committed) = fx.run_once();
+            counts = (generated, committed);
+            samples.push(ns as f64 / fx.rounds.max(1) as f64);
+        }
+        results.push(FixtureResult {
+            name: fx.name.to_string(),
+            kind: FixtureKind::Micro,
+            rounds: fx.rounds,
+            jobs: 1,
+            generated: counts.0,
+            committed: counts.1,
+            ns_per_round: samples,
+        });
+    }
+
+    let scenario_rounds: u64 = if opts.quick { 400 } else { 2_000 };
+    for name in SCENARIO_FIXTURES {
+        let fixture_name = format!("e2e_{name}");
+        if !selected(&fixture_name) {
+            continue;
+        }
+        let path = opts.scenarios_dir.join(format!("{name}.scenario"));
+        let scenario = Scenario::load(&path).map_err(|e| e.to_string())?;
+        let jobs = scenario
+            .jobs_with(&[("rounds".to_string(), scenario_rounds.to_string())])
+            .map_err(|e| e.to_string())?;
+        let total_rounds: u64 = jobs.iter().map(|j| j.rounds).sum();
+        let mut samples = Vec::with_capacity(opts.repeats);
+        let mut counts = (0u64, 0u64);
+        for _ in 0..opts.warmup {
+            run_jobs(&jobs, 1, false);
+        }
+        for _ in 0..opts.repeats.max(1) {
+            let start = Instant::now();
+            let outcomes = run_jobs(&jobs, 1, false);
+            let ns = start.elapsed().as_nanos() as u64;
+            counts = (
+                outcomes.iter().map(|o| o.report.generated).sum(),
+                outcomes.iter().map(|o| o.report.committed).sum(),
+            );
+            samples.push(ns as f64 / total_rounds.max(1) as f64);
+        }
+        results.push(FixtureResult {
+            name: fixture_name,
+            kind: FixtureKind::Scenario,
+            rounds: total_rounds,
+            jobs: jobs.len() as u64,
+            generated: counts.0,
+            committed: counts.1,
+            ns_per_round: samples,
+        });
+    }
+    Ok(results)
+}
+
+/// The JSON schema identifier written at the top of every bench report.
+pub const BENCH_SCHEMA: &str = "blockshard-bench/v1";
+
+/// Best-effort current git commit (short SHA), or `"unknown"` outside a
+/// git checkout.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the machine-readable `BENCH_*.json` document (hand-rolled —
+/// the workspace is offline and the schema is flat).
+pub fn render_json(results: &[FixtureResult], opts: &BenchOpts, git_sha: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"git_sha\": \"{git_sha}\",\n"));
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"repeats\": {},\n", opts.repeats));
+    out.push_str(&format!("  \"warmup\": {},\n", opts.warmup));
+    out.push_str("  \"fixtures\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"kind\": \"{}\",\n", r.kind));
+        out.push_str(&format!("      \"rounds\": {},\n", r.rounds));
+        out.push_str(&format!("      \"jobs\": {},\n", r.jobs));
+        out.push_str(&format!("      \"generated\": {},\n", r.generated));
+        out.push_str(&format!("      \"committed\": {},\n", r.committed));
+        out.push_str(&format!(
+            "      \"ns_per_round_median\": {:.1},\n",
+            r.median_ns_per_round()
+        ));
+        out.push_str(&format!("      \"spread_pct\": {:.1},\n", r.spread_pct()));
+        out.push_str(&format!(
+            "      \"txns_per_sec\": {:.1}\n",
+            r.txns_per_sec()
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The human summary table printed after a bench run.
+pub fn summary_table(results: &[FixtureResult]) -> String {
+    let mut out = format!(
+        "{:<16} {:<9} {:>8} {:>10} {:>10} {:>14} {:>9} {:>14}\n",
+        "fixture", "kind", "rounds", "generated", "committed", "ns/round", "spread", "txns/sec",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<16} {:<9} {:>8} {:>10} {:>10} {:>14.1} {:>8.1}% {:>14.1}\n",
+            r.name,
+            r.kind.to_string(),
+            r.rounds,
+            r.generated,
+            r.committed,
+            r.median_ns_per_round(),
+            r.spread_pct(),
+            r.txns_per_sec(),
+        ));
+    }
+    out
+}
+
+/// One fixture entry read back from a baseline JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineFixture {
+    /// Fixture name.
+    pub name: String,
+    /// Median ns/round recorded in the baseline.
+    pub ns_per_round_median: f64,
+}
+
+/// Reads the fixture names and medians back out of a `BENCH_*.json`
+/// document written by [`render_json`].
+///
+/// This is a deliberately narrow reader for our own schema (the
+/// workspace has no JSON dependency): it scans for `"name"` /
+/// `"ns_per_round_median"` key-value pairs in order, which is exactly
+/// how the writer lays them out. Unknown keys are ignored.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineFixture>, String> {
+    let mut fixtures = Vec::new();
+    let mut pending_name: Option<String> = None;
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"name\":") {
+            let v = rest.trim().trim_matches('"');
+            pending_name = Some(v.to_string());
+        } else if let Some(rest) = line.strip_prefix("\"ns_per_round_median\":") {
+            let name = pending_name
+                .take()
+                .ok_or("baseline: ns_per_round_median before any name")?;
+            let v: f64 = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("baseline: bad median for `{name}`: {rest}"))?;
+            fixtures.push(BaselineFixture {
+                name,
+                ns_per_round_median: v,
+            });
+        }
+    }
+    if fixtures.is_empty() {
+        return Err("baseline: no fixtures found (is this a BENCH_*.json file?)".into());
+    }
+    Ok(fixtures)
+}
+
+/// The outcome of comparing a run against a baseline fixture.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Fixture name.
+    pub name: String,
+    /// Baseline median ns/round.
+    pub baseline: f64,
+    /// Current median ns/round.
+    pub current: f64,
+}
+
+impl Comparison {
+    /// Slowdown factor vs the baseline (1.0 = unchanged, 2.0 = twice as
+    /// slow).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            return 1.0;
+        }
+        self.current / self.baseline
+    }
+}
+
+/// Pairs the current results with a parsed baseline by fixture name.
+/// Fixtures present on only one side are skipped (adding a fixture must
+/// not fail CI).
+pub fn compare(results: &[FixtureResult], baseline: &[BaselineFixture]) -> Vec<Comparison> {
+    results
+        .iter()
+        .filter_map(|r| {
+            baseline
+                .iter()
+                .find(|b| b.name == r.name)
+                .map(|b| Comparison {
+                    name: r.name.clone(),
+                    baseline: b.ns_per_round_median,
+                    current: r.median_ns_per_round(),
+                })
+        })
+        .collect()
+}
+
+/// Renders the baseline-comparison table and returns the names of
+/// fixtures regressing beyond `max_regression`.
+pub fn regression_report(comparisons: &[Comparison], max_regression: f64) -> (String, Vec<String>) {
+    let mut out = format!(
+        "{:<16} {:>14} {:>14} {:>8}   vs baseline (fail > {max_regression:.2}x)\n",
+        "fixture", "baseline ns/r", "current ns/r", "ratio",
+    );
+    let mut failures = Vec::new();
+    for c in comparisons {
+        let ratio = c.ratio();
+        let verdict = if ratio > max_regression {
+            failures.push(c.name.clone());
+            "REGRESSION"
+        } else if ratio < 1.0 {
+            "faster"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{:<16} {:>14.1} {:>14.1} {:>7.2}x   {verdict}\n",
+            c.name, c.baseline, c.current, ratio,
+        ));
+    }
+    (out, failures)
+}
+
+/// Writes `content` to `path`, creating parent directories.
+pub fn write_bench_file(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, samples: &[f64]) -> FixtureResult {
+        FixtureResult {
+            name: name.to_string(),
+            kind: FixtureKind::Micro,
+            rounds: 1000,
+            jobs: 1,
+            generated: 500,
+            committed: 480,
+            ns_per_round: samples.to_vec(),
+        }
+    }
+
+    #[test]
+    fn median_and_spread() {
+        let r = result("x", &[100.0, 300.0, 200.0]);
+        assert_eq!(r.median_ns_per_round(), 200.0);
+        assert!((r.spread_pct() - 100.0).abs() < 1e-9);
+        let even = result("y", &[100.0, 200.0]);
+        assert_eq!(even.median_ns_per_round(), 150.0);
+    }
+
+    #[test]
+    fn txns_per_sec_sane() {
+        // 1000 rounds at 1000 ns/round = 1 ms total; 480 committed
+        // → 480k txns/sec.
+        let r = result("x", &[1000.0]);
+        assert!((r.txns_per_sec() - 480_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_baseline_parser() {
+        let results = vec![result("bds_inner", &[120.5, 118.0, 125.0])];
+        let json = render_json(&results, &BenchOpts::quick(), "abc123");
+        assert!(json.contains("\"schema\": \"blockshard-bench/v1\""));
+        assert!(json.contains("\"git_sha\": \"abc123\""));
+        assert!(json.contains("\"mode\": \"quick\""));
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "bds_inner");
+        assert!((parsed[0].ns_per_round_median - 120.5).abs() < 0.11);
+    }
+
+    #[test]
+    fn baseline_parser_rejects_garbage() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("\"ns_per_round_median\": 3\n").is_err());
+    }
+
+    #[test]
+    fn regression_detection() {
+        let results = vec![result("a", &[300.0]), result("b", &[100.0])];
+        let baseline = vec![
+            BaselineFixture {
+                name: "a".into(),
+                ns_per_round_median: 100.0,
+            },
+            BaselineFixture {
+                name: "b".into(),
+                ns_per_round_median: 100.0,
+            },
+            BaselineFixture {
+                name: "gone".into(),
+                ns_per_round_median: 1.0,
+            },
+        ];
+        let cmp = compare(&results, &baseline);
+        assert_eq!(cmp.len(), 2, "unmatched baseline fixtures are skipped");
+        let (table, failures) = regression_report(&cmp, 2.0);
+        assert_eq!(failures, vec!["a".to_string()]);
+        assert!(table.contains("REGRESSION"));
+        assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn summary_lists_every_fixture() {
+        let results = vec![result("a", &[1.0]), result("b", &[2.0])];
+        let table = summary_table(&results);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("a") && table.contains("b"));
+    }
+}

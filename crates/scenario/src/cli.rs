@@ -2,6 +2,7 @@
 //! the workspace is offline) plus the small argument parser shared by
 //! the figure-wrapper binaries in `bench`.
 
+use crate::bench;
 use crate::exec::{run_jobs, JobOutcome};
 use crate::parse::Scenario;
 use crate::report;
@@ -14,6 +15,7 @@ USAGE:
     blockshard plan <FILE>                 print the expanded job list
     blockshard check <FILE>...             parse + validate only
     blockshard list [DIR]                  list scenario files (default scenarios/)
+    blockshard bench [FILTER...] [OPTIONS] run the performance fixtures
     blockshard help                        this text
 
 OPTIONS (run):
@@ -23,6 +25,17 @@ OPTIONS (run):
     --set KEY=VALUE  override any base key (repeatable; grid axes still win)
     --quiet          no per-job progress on stderr
     --no-write       print the summary but write no report files
+
+OPTIONS (bench):
+    --quick               CI-size fixtures (fewer rounds and repeats)
+    --repeats N           timed iterations per fixture (default 5; quick 3)
+    --warmup N            untimed warmup iterations (default 1)
+    --out FILE            write the machine-readable report (BENCH_*.json)
+    --scenarios DIR       scenario directory (default scenarios/)
+    --baseline FILE       compare against a previous BENCH_*.json
+    --max-regression X    fail when any fixture is >X times slower than
+                          the baseline (default 2.0; needs --baseline)
+    FILTER                only fixtures whose name contains a FILTER
 
 Reports land in <out>/<scenario-name>.csv and .jsonl. See the scenario
 crate rustdoc or README.md for the scenario file grammar.";
@@ -321,6 +334,141 @@ fn cmd_list(args: &[String]) -> i32 {
     0
 }
 
+#[derive(Debug)]
+struct BenchFlags {
+    opts: bench::BenchOpts,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    max_regression: f64,
+}
+
+fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, String> {
+    // --quick shrinks rounds *and* the repeat default, so resolve it
+    // before the flag loop (explicit --repeats still wins).
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut flags = BenchFlags {
+        opts: if quick {
+            bench::BenchOpts::quick()
+        } else {
+            bench::BenchOpts::full()
+        },
+        out: None,
+        baseline: None,
+        max_regression: 2.0,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats takes a value")?;
+                flags.opts.repeats = v
+                    .parse()
+                    .map_err(|_| format!("--repeats: `{v}` is not an integer"))?;
+                if flags.opts.repeats == 0 {
+                    return Err("--repeats must be >= 1".into());
+                }
+            }
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup takes a value")?;
+                flags.opts.warmup = v
+                    .parse()
+                    .map_err(|_| format!("--warmup: `{v}` is not an integer"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out takes a value")?;
+                flags.out = Some(PathBuf::from(v));
+            }
+            "--scenarios" => {
+                let v = it.next().ok_or("--scenarios takes a value")?;
+                flags.opts.scenarios_dir = PathBuf::from(v);
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline takes a value")?;
+                flags.baseline = Some(PathBuf::from(v));
+            }
+            "--max-regression" => {
+                let v = it.next().ok_or("--max-regression takes a value")?;
+                flags.max_regression = v
+                    .parse()
+                    .map_err(|_| format!("--max-regression: `{v}` is not a number"))?;
+                if flags.max_regression <= 1.0 || flags.max_regression.is_nan() {
+                    return Err("--max-regression must be > 1".into());
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            filter => flags.opts.filter.push(filter.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let flags = match parse_bench_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "bench: {} mode, {} repeat(s) after {} warmup(s)",
+        if flags.opts.quick { "quick" } else { "full" },
+        flags.opts.repeats,
+        flags.opts.warmup,
+    );
+    let results = match bench::run_fixtures(&flags.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if results.is_empty() {
+        eprintln!("error: no fixture matches the given filter(s)");
+        return 2;
+    }
+    print!("{}", bench::summary_table(&results));
+    if let Some(out) = &flags.out {
+        let json = bench::render_json(&results, &flags.opts, &bench::git_sha());
+        if let Err(e) = bench::write_bench_file(out, &json) {
+            eprintln!("error: writing {}: {e}", out.display());
+            return 1;
+        }
+        println!("bench report: {}", out.display());
+    }
+    if let Some(path) = &flags.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading baseline {}: {e}", path.display());
+                return 2;
+            }
+        };
+        let baseline = match bench::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let comparisons = bench::compare(&results, &baseline);
+        let (table, failures) = bench::regression_report(&comparisons, flags.max_regression);
+        print!("{table}");
+        if !failures.is_empty() {
+            eprintln!(
+                "error: {} fixture(s) regressed more than {:.2}x vs {}: {}",
+                failures.len(),
+                flags.max_regression,
+                path.display(),
+                failures.join(", "),
+            );
+            return 1;
+        }
+    }
+    0
+}
+
 /// CLI entry point; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
@@ -328,6 +476,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("plan") => cmd_plan(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             i32::from(args.is_empty())
@@ -399,6 +548,48 @@ mod tests {
             vec![("rounds".to_string(), "300".to_string())],
             "explicit --rounds beats --full"
         );
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        let args: Vec<String> = [
+            "--quick",
+            "bds",
+            "--repeats",
+            "7",
+            "--out",
+            "BENCH_x.json",
+            "--baseline",
+            "BENCH_baseline.json",
+            "--max-regression",
+            "1.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let f = parse_bench_flags(&args).unwrap();
+        assert!(f.opts.quick);
+        assert_eq!(f.opts.repeats, 7, "explicit --repeats beats --quick");
+        assert_eq!(f.opts.filter, vec!["bds".to_string()]);
+        assert_eq!(f.out, Some(PathBuf::from("BENCH_x.json")));
+        assert_eq!(f.baseline, Some(PathBuf::from("BENCH_baseline.json")));
+        assert!((f.max_regression - 1.5).abs() < 1e-12);
+
+        let quick_default = parse_bench_flags(&["--quick".to_string()]).unwrap();
+        assert_eq!(quick_default.opts.repeats, 3);
+        assert_eq!(parse_bench_flags(&[]).unwrap().opts.repeats, 5);
+    }
+
+    #[test]
+    fn bench_flags_reject_bad_input() {
+        let bad = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_bench_flags(&args).unwrap_err()
+        };
+        assert!(bad(&["--wat"]).contains("unknown flag"));
+        assert!(bad(&["--repeats", "0"]).contains(">= 1"));
+        assert!(bad(&["--max-regression", "0.5"]).contains("> 1"));
+        assert!(bad(&["--baseline"]).contains("takes a value"));
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! The bench subsystem's determinism guarantee, mirroring the report
+//! determinism test: every fixture is a pure function of its fixed seeds,
+//! so two `bench --quick` runs produce identical job plans and identical
+//! op/txn counts. Only the wall-clock fields (`ns_per_round` and what is
+//! derived from it) may differ between runs — that is exactly what lets
+//! CI compare a fresh run against the checked-in `BENCH_baseline.json`
+//! by timing alone.
+
+use scenario::bench::{parse_baseline, render_json, run_fixtures, BenchOpts};
+use std::path::Path;
+
+fn quick_opts() -> BenchOpts {
+    let mut opts = BenchOpts::quick();
+    // One timed iteration, no warmup: determinism does not depend on
+    // repetition, and the debug-mode test should stay fast.
+    opts.repeats = 1;
+    opts.warmup = 0;
+    opts.scenarios_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    opts
+}
+
+#[test]
+fn two_quick_runs_have_identical_plans_and_counts() {
+    let opts = quick_opts();
+    let a = run_fixtures(&opts).expect("fixtures run");
+    let b = run_fixtures(&opts).expect("fixtures run");
+    assert_eq!(a.len(), b.len(), "fixture list is stable");
+    assert!(
+        a.len() >= 5,
+        "expected both micro fixtures and the three e2e scenarios, got {}",
+        a.len()
+    );
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.kind, y.kind, "{}", x.name);
+        assert_eq!(x.rounds, y.rounds, "{}: planned rounds differ", x.name);
+        assert_eq!(x.jobs, y.jobs, "{}: job plan differs", x.name);
+        assert_eq!(x.generated, y.generated, "{}: generated differs", x.name);
+        assert_eq!(x.committed, y.committed, "{}: committed differs", x.name);
+        // The wall-clock samples are present but deliberately NOT
+        // compared: timing is the one non-deterministic output.
+        assert_eq!(x.ns_per_round.len(), y.ns_per_round.len());
+    }
+}
+
+#[test]
+fn fixture_filter_selects_by_substring() {
+    let mut opts = quick_opts();
+    opts.filter = vec!["bds".to_string()];
+    let results = run_fixtures(&opts).expect("fixtures run");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].name, "bds_inner");
+}
+
+#[test]
+fn emitted_json_is_schema_valid_for_the_baseline_reader() {
+    let mut opts = quick_opts();
+    opts.filter = vec!["e2e_smoke".to_string()];
+    let results = run_fixtures(&opts).expect("fixtures run");
+    let json = render_json(&results, &opts, "deadbeef");
+    let parsed = parse_baseline(&json).expect("round-trips");
+    assert_eq!(parsed.len(), results.len());
+    assert_eq!(parsed[0].name, "e2e_smoke");
+    assert!(parsed[0].ns_per_round_median > 0.0);
+}

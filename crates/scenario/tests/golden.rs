@@ -8,7 +8,7 @@
 //!     > crates/scenario/tests/golden/X.plan
 //! ```
 
-use scenario::Scenario;
+use scenario::{report, run_jobs, Scenario};
 use std::path::Path;
 
 fn check_golden(name: &str) {
@@ -31,6 +31,46 @@ fn sweep_scenario_matches_golden_plan() {
 #[test]
 fn flat_scenario_matches_golden_plan() {
     check_golden("flat");
+}
+
+/// The checked-in report golden: running scenario `name` at 500 rounds
+/// must reproduce `tests/golden/<file>` byte for byte. This is the same
+/// invocation the CI scenario-smoke step diffs, so a simulation-behavior
+/// change (intended or not) fails here first with a readable assert.
+/// Regenerate after an intentional behavior change by running the run
+/// command and copying the CSV it writes (reports are named after the
+/// scenario's `name =` line, e.g. `dos-burst.csv`):
+///
+/// ```sh
+/// cargo run --release --bin blockshard -- run scenarios/smoke.scenario \
+///     scenarios/dos_burst.scenario --rounds 500 --out /tmp/golden
+/// cp /tmp/golden/smoke.csv crates/scenario/tests/golden/smoke_rounds500.csv
+/// cp /tmp/golden/dos-burst.csv crates/scenario/tests/golden/dos_burst_rounds500.csv
+/// ```
+fn check_report_golden(name: &str, file: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let scenario = Scenario::load(&dir.join("../../scenarios").join(name)).unwrap();
+    let jobs = scenario
+        .jobs_with(&[("rounds".to_string(), "500".to_string())])
+        .unwrap();
+    let outcomes = run_jobs(&jobs, 2, false);
+    let got = report::csv_string(&outcomes);
+    let want = std::fs::read_to_string(dir.join("tests/golden").join(file)).unwrap();
+    assert_eq!(
+        got, want,
+        "report for `{name}` at 500 rounds drifted from its golden file \
+         (simulation behavior changed — see the docs above to regenerate)"
+    );
+}
+
+#[test]
+fn smoke_report_matches_golden() {
+    check_report_golden("smoke.scenario", "smoke_rounds500.csv");
+}
+
+#[test]
+fn dos_burst_report_matches_golden() {
+    check_report_golden("dos_burst.scenario", "dos_burst_rounds500.csv");
 }
 
 #[test]

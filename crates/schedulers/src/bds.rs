@@ -28,7 +28,7 @@
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
 use adversary::{Adversary, AdversaryConfig};
 use cluster::{ShardMetric, UniformMetric};
-use conflict::{color_transactions, ColoringStrategy};
+use conflict::{color_transactions_with, ColoringScratch, ColoringStrategy};
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::{LocalChain, Network, ShardLedger};
@@ -105,7 +105,15 @@ pub struct BdsSim {
     /// shard (the paper's "pending transactions queue").
     injection: Vec<Vec<Transaction>>,
     /// Transactions being processed in the current epoch, per home shard.
+    /// Decided entries are retired at the epoch boundary, so each map
+    /// holds one epoch's worth of transactions, not the whole run's.
     epoch_txns: Vec<BTreeMap<TxnId, EpochEntry>>,
+    /// Per home shard, per color: the transactions to dispatch when that
+    /// color's round-group starts. Filled by the `ColorAssign` handler
+    /// (in ascending txn-id order, since assignments per home arrive in
+    /// generation order), drained by `phase3_dispatch` — a dense index
+    /// replacing the former scan over every epoch entry per dispatch.
+    color_groups: Vec<Vec<Vec<TxnId>>>,
     /// Subtransactions parked at destinations awaiting the decision.
     parked: Vec<BTreeMap<TxnId, SubTransaction>>,
     /// Per-destination batch of subtransactions committed this round,
@@ -125,6 +133,17 @@ pub struct BdsSim {
     max_epoch_len: u64,
     committed_log: Vec<(Round, TxnId)>,
     generated: u64,
+    /// Transactions currently queued for injection (sum of `injection`
+    /// lengths), maintained incrementally so `total_pending` is O(1).
+    injected_pending: u64,
+    /// Undecided in-epoch transactions (sum over `epoch_txns`), likewise
+    /// maintained incrementally.
+    undecided: u64,
+    /// Reusable coloring working memory (see [`ColoringScratch`]).
+    coloring_scratch: ColoringScratch,
+    /// Per home shard: assignment list under construction during
+    /// `phase2_color` (reused across epochs to avoid map churn).
+    assign_scratch: Vec<Vec<(TxnId, u32)>>,
 }
 
 impl BdsSim {
@@ -156,6 +175,7 @@ impl BdsSim {
             chains: (0..s).map(|i| LocalChain::new(ShardId(i as u32))).collect(),
             injection: vec![Vec::new(); s],
             epoch_txns: (0..s).map(|_| BTreeMap::new()).collect(),
+            color_groups: vec![Vec::new(); s],
             parked: (0..s).map(|_| BTreeMap::new()).collect(),
             append_buf: vec![Vec::new(); s],
             leader_buffer: Vec::new(),
@@ -168,6 +188,10 @@ impl BdsSim {
             max_epoch_len: 0,
             committed_log: Vec::new(),
             generated: 0,
+            injected_pending: 0,
+            undecided: 0,
+            coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+            assign_scratch: vec![Vec::new(); s],
         }
     }
 
@@ -192,14 +216,24 @@ impl BdsSim {
 
     /// Total pending transactions (injection queues plus in-epoch
     /// undecided ones) — the quantity bounded by `4bs` in Theorem 2.
+    /// O(1): both terms are maintained incrementally (this is sampled
+    /// every round, so recounting the queues dominated the round cost).
     pub fn total_pending(&self) -> u64 {
-        let inj: usize = self.injection.iter().map(Vec::len).sum();
-        let in_epoch: usize = self
-            .epoch_txns
-            .iter()
-            .map(|m| m.values().filter(|e| !e.decided).count())
-            .sum();
-        (inj + in_epoch) as u64
+        #[cfg(debug_assertions)]
+        {
+            let inj: usize = self.injection.iter().map(Vec::len).sum();
+            let in_epoch: usize = self
+                .epoch_txns
+                .iter()
+                .map(|m| m.values().filter(|e| !e.decided).count())
+                .sum();
+            debug_assert_eq!(
+                self.injected_pending + self.undecided,
+                (inj + in_epoch) as u64,
+                "incremental pending counters drifted from the queues"
+            );
+        }
+        self.injected_pending + self.undecided
     }
 
     /// The local blockchains (one per shard).
@@ -224,6 +258,7 @@ impl BdsSim {
         // 1. Injection: newly generated transactions join their home
         //    shard's pending queue.
         self.generated += new_txns.len() as u64;
+        self.injected_pending += new_txns.len() as u64;
         for t in new_txns {
             debug_assert!(t.home.index() < self.sys.shards);
             self.injection[t.home.index()].push(t);
@@ -236,6 +271,21 @@ impl BdsSim {
             self.epoch += 1;
             self.epoch_start = now;
             self.next_epoch_at = None;
+            // Retire the finished epoch's state. The epoch length
+            // `2 + 4·C` gaps covers every color group's full vote
+            // round-trip, so every scheduled entry has been decided by
+            // now; retiring them keeps the per-shard maps at one epoch's
+            // size instead of accumulating the whole run's history.
+            for m in &mut self.epoch_txns {
+                debug_assert!(
+                    m.values().all(|e| e.decided),
+                    "undecided entry survived its epoch"
+                );
+                m.retain(|_, e| !e.decided);
+            }
+            for g in &mut self.color_groups {
+                g.clear();
+            }
         }
         if now == self.epoch_start {
             self.phase1_send_pending();
@@ -278,6 +328,8 @@ impl BdsSim {
             if drained.is_empty() {
                 continue;
             }
+            self.injected_pending -= drained.len() as u64;
+            self.undecided += drained.len() as u64;
             self.net.send(
                 ShardId(h as u32),
                 leader,
@@ -306,19 +358,26 @@ impl BdsSim {
         let num_colors = if txns.is_empty() {
             0
         } else {
-            let coloring = color_transactions(self.bcfg.coloring, &txns);
-            // Group assignments by home shard and send them back.
-            let mut per_home: BTreeMap<ShardId, Vec<(TxnId, u32)>> = BTreeMap::new();
+            let coloring =
+                color_transactions_with(self.bcfg.coloring, &txns, &mut self.coloring_scratch);
+            // Group assignments by home shard (dense per-shard lists,
+            // reused across epochs) and send them back in shard order —
+            // the same order the former per-home map iterated in.
             for (v, t) in txns.iter().enumerate() {
-                per_home
-                    .entry(t.home)
-                    .or_default()
-                    .push((t.id, coloring.color(v)));
+                self.assign_scratch[t.home.index()].push((t.id, coloring.color(v)));
             }
             let leader = self.leader();
-            for (home, assignments) in per_home {
-                self.net
-                    .send(leader, home, self.now, Msg::ColorAssign(assignments));
+            for h in 0..self.sys.shards {
+                if self.assign_scratch[h].is_empty() {
+                    continue;
+                }
+                let assignments = std::mem::take(&mut self.assign_scratch[h]);
+                self.net.send(
+                    leader,
+                    ShardId(h as u32),
+                    self.now,
+                    Msg::ColorAssign(assignments),
+                );
             }
             coloring.num_colors()
         };
@@ -332,7 +391,9 @@ impl BdsSim {
     }
 
     /// Phase 3: at round `epoch_start + gap·(2 + 4z)` each home shard
-    /// sends the subtransactions of its color-`z` transactions.
+    /// sends the subtransactions of its color-`z` transactions, taken
+    /// from the per-color dispatch index built when the assignments
+    /// arrived (no scan over the whole epoch set).
     fn phase3_dispatch(&mut self) {
         let elapsed = self.now.since(self.epoch_start);
         if elapsed < 2 * self.gap {
@@ -342,20 +403,24 @@ impl BdsSim {
         if !offset.is_multiple_of(4 * self.gap) {
             return;
         }
-        let z = (offset / (4 * self.gap)) as u32;
+        let z = (offset / (4 * self.gap)) as usize;
         for h in 0..self.sys.shards {
+            let Some(group) = self.color_groups[h].get_mut(z) else {
+                continue;
+            };
+            let group = std::mem::take(group);
             let home = ShardId(h as u32);
-            // Collect sends first to appease the borrow checker.
-            let mut sends: Vec<(ShardId, SubTransaction)> = Vec::new();
-            for entry in self.epoch_txns[h].values() {
-                if entry.color == Some(z) && !entry.decided {
-                    for sub in &entry.txn.subs {
-                        sends.push((sub.dest, sub.clone()));
-                    }
+            for txn in group {
+                let Some(entry) = self.epoch_txns[h].get(&txn) else {
+                    continue;
+                };
+                if entry.decided {
+                    continue;
                 }
-            }
-            for (dest, sub) in sends {
-                self.net.send(home, dest, self.now, Msg::SubTxn(sub));
+                for sub in &entry.txn.subs {
+                    self.net
+                        .send(home, sub.dest, self.now, Msg::SubTxn(sub.clone()));
+                }
             }
         }
     }
@@ -371,6 +436,12 @@ impl BdsSim {
                 for (txn, color) in assignments {
                     if let Some(e) = self.epoch_txns[h].get_mut(&txn) {
                         e.color = Some(color);
+                        let groups = &mut self.color_groups[h];
+                        let z = color as usize;
+                        if groups.len() <= z {
+                            groups.resize_with(z + 1, Vec::new);
+                        }
+                        groups[z].push(txn);
                     }
                 }
             }
@@ -391,10 +462,10 @@ impl BdsSim {
                 e.abort |= !commit;
                 if e.votes == e.txn.shard_count() && !e.decided {
                     e.decided = true;
+                    self.undecided -= 1;
                     let commit_all = !e.abort;
-                    let dests: Vec<ShardId> = e.txn.shards().collect();
                     let generated = e.txn.generated;
-                    for dest in dests {
+                    for dest in e.txn.shards() {
                         self.net.send(
                             to,
                             dest,

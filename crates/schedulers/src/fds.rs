@@ -49,7 +49,7 @@
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
 use adversary::{Adversary, AdversaryConfig};
 use cluster::{ClusterId, Hierarchy, LineMetric, ShardMetric};
-use conflict::{color_transactions, ColoringStrategy};
+use conflict::{color_transactions_with, Coloring, ColoringScratch, ColoringStrategy};
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::{LocalChain, Network, ShardLedger};
@@ -155,6 +155,13 @@ struct LeaderState {
     incoming: Vec<Transaction>,
     /// Scheduled but not yet confirmed transactions.
     sch_ldr: BTreeMap<TxnId, LeaderEntry>,
+    /// Sorted txn ids of the batch behind `last_coloring`.
+    last_ids: Vec<TxnId>,
+    /// Cached coloring of `last_ids`: a rescheduling epoch with no new
+    /// arrivals and no confirms recolors exactly the same batch, and the
+    /// coloring is a pure function of it — reuse instead of re-deriving
+    /// the conflict structure.
+    last_coloring: Option<Coloring>,
 }
 
 /// Schedule-queue state of one destination shard.
@@ -181,6 +188,10 @@ pub struct FdsSim {
     /// Per home shard: transactions waiting for their layer's next epoch.
     outbox: Vec<Vec<(ClusterId, Transaction)>>,
     leaders: BTreeMap<ClusterId, LeaderState>,
+    /// Home cluster of every transaction currently in some leader's
+    /// `sch_ldr` — vote routing becomes one lookup instead of a scan
+    /// over every cluster the receiving shard leads.
+    txn_cluster: BTreeMap<TxnId, ClusterId>,
     dests: Vec<DestState>,
     /// Per-destination batch of subtransactions confirmed this round,
     /// sealed into one block at the end of the round.
@@ -192,6 +203,13 @@ pub struct FdsSim {
     max_access_distance: u64,
     collector: MetricsCollector,
     committed_log: Vec<(Round, TxnId)>,
+    /// Reusable coloring working memory shared by every cluster leader.
+    coloring_scratch: ColoringScratch,
+    /// Memoized [`Hierarchy::home_cluster`] per `(home, x)`: the hot
+    /// path computes it twice per transaction (injection and leader
+    /// arrival), and it is a pure function of the fixed hierarchy —
+    /// outer index home shard, inner index access distance `x`.
+    home_cluster_cache: Vec<Vec<Option<ClusterId>>>,
 }
 
 impl FdsSim {
@@ -222,6 +240,7 @@ impl FdsSim {
             chains: (0..s).map(|i| LocalChain::new(ShardId(i as u32))).collect(),
             outbox: vec![Vec::new(); s],
             leaders: BTreeMap::new(),
+            txn_cluster: BTreeMap::new(),
             dests: (0..s).map(|_| DestState::default()).collect(),
             append_buf: vec![Vec::new(); s],
             e0,
@@ -231,7 +250,24 @@ impl FdsSim {
             max_access_distance: 0,
             collector: MetricsCollector::new(s),
             committed_log: Vec::new(),
+            coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+            home_cluster_cache: vec![Vec::new(); s],
         }
+    }
+
+    /// [`Hierarchy::home_cluster`] through the per-`(home, x)` memo.
+    fn home_cluster_cached(&mut self, home: ShardId, x: u64) -> ClusterId {
+        let slot = &mut self.home_cluster_cache[home.index()];
+        let xi = x as usize;
+        if slot.len() <= xi {
+            slot.resize(xi + 1, None);
+        }
+        if let Some(cid) = slot[xi] {
+            return cid;
+        }
+        let cid = self.hierarchy.home_cluster(home, x);
+        self.home_cluster_cache[home.index()][xi] = Some(cid);
+        cid
     }
 
     /// Base epoch length `E_0`.
@@ -282,14 +318,13 @@ impl FdsSim {
         for t in new_txns {
             self.generated += 1;
             self.outstanding += 1;
-            let dests: Vec<ShardId> = t.shards().collect();
-            let x = dests
-                .iter()
-                .map(|&d| self.hierarchy.distance(t.home, d))
+            let x = t
+                .shards()
+                .map(|d| self.hierarchy.distance(t.home, d))
                 .max()
                 .unwrap_or(0);
             self.max_access_distance = self.max_access_distance.max(x);
-            let cid = self.hierarchy.home_cluster(t.home, x);
+            let cid = self.home_cluster_cached(t.home, x);
             self.outbox[t.home.index()].push((cid, t));
         }
 
@@ -409,10 +444,13 @@ impl FdsSim {
             targets.extend(st.sch_ldr.values().map(|e| e.txn.clone()));
         }
         for t in incoming {
-            st.sch_ldr.entry(t.id).or_insert_with(|| LeaderEntry {
-                txn: t.clone(),
-                votes: BTreeMap::new(),
-            });
+            if let std::collections::btree_map::Entry::Vacant(v) = st.sch_ldr.entry(t.id) {
+                v.insert(LeaderEntry {
+                    txn: t.clone(),
+                    votes: BTreeMap::new(),
+                });
+                self.txn_cluster.insert(t.id, cid);
+            }
             targets.push(t);
         }
         if targets.is_empty() {
@@ -421,7 +459,23 @@ impl FdsSim {
         targets.sort_by_key(|t| t.id);
         targets.dedup_by_key(|t| t.id);
 
-        let coloring = color_transactions(self.fcfg.coloring, &targets);
+        // The coloring is a pure function of the (sorted) batch; a
+        // rescheduling epoch with no arrivals and no confirms since the
+        // last coloring reuses the cached result instead of rebuilding
+        // the conflict structure from the access lists.
+        let unchanged = st.last_coloring.is_some()
+            && st.last_ids.len() == targets.len()
+            && st.last_ids.iter().zip(&targets).all(|(id, t)| *id == t.id);
+        let coloring = if unchanged {
+            st.last_coloring.clone().expect("checked above")
+        } else {
+            let c =
+                color_transactions_with(self.fcfg.coloring, &targets, &mut self.coloring_scratch);
+            st.last_ids.clear();
+            st.last_ids.extend(targets.iter().map(|t| t.id));
+            st.last_coloring = Some(c.clone());
+            c
+        };
         let now = self.now;
         for (v, t) in targets.iter().enumerate() {
             let height = Height {
@@ -486,13 +540,12 @@ impl FdsSim {
                 // contains both the home shard and this leader: the home
                 // cluster was computed at injection; recompute (cheap,
                 // deterministic) to file under the right cluster.
-                let dests: Vec<ShardId> = txn.shards().collect();
-                let x = dests
-                    .iter()
-                    .map(|&s| self.hierarchy.distance(txn.home, s))
+                let x = txn
+                    .shards()
+                    .map(|s| self.hierarchy.distance(txn.home, s))
                     .max()
                     .unwrap_or(0);
-                let cid = self.hierarchy.home_cluster(txn.home, x);
+                let cid = self.home_cluster_cached(txn.home, x);
                 debug_assert_eq!(self.hierarchy.cluster(cid).leader, to);
                 self.leaders.entry(cid).or_default().incoming.push(txn);
             }
@@ -513,21 +566,24 @@ impl FdsSim {
                 dest.sch_qd.insert(height, sub);
             }
             Msg::Vote { txn, commit } => {
-                // `to` is the leader shard; find the cluster entry holding
-                // this transaction. A leader shard can lead clusters at
-                // several levels, so scan its clusters (bounded by H1·H2).
+                // `to` is the leader shard; a transaction sits in exactly
+                // one cluster's `sch_ldr` (its home cluster), kept in the
+                // `txn_cluster` index — one lookup instead of scanning
+                // every cluster the shard leads. A vote arriving after
+                // the confirmation finds no entry and is a no-op, exactly
+                // like the old scan.
+                let Some(&cid) = self.txn_cluster.get(&txn) else {
+                    return;
+                };
+                debug_assert_eq!(self.hierarchy.cluster(cid).leader, to);
                 let mut decided: Option<(ClusterId, bool)> = None;
-                for (cid, st) in self.leaders.iter_mut() {
-                    if self.hierarchy.cluster(*cid).leader != to {
-                        continue;
-                    }
+                if let Some(st) = self.leaders.get_mut(&cid) {
                     if let Some(entry) = st.sch_ldr.get_mut(&txn) {
                         entry.votes.insert(from, commit);
                         if entry.votes.len() == entry.txn.shard_count() {
                             let all_commit = entry.votes.values().all(|&v| v);
-                            decided = Some((*cid, all_commit));
+                            decided = Some((cid, all_commit));
                         }
-                        break;
                     }
                 }
                 if let Some((cid, all_commit)) = decided {
@@ -562,6 +618,7 @@ impl FdsSim {
         let leader_shard = self.hierarchy.cluster(cid).leader;
         let st = self.leaders.get_mut(&cid).expect("cluster exists");
         let entry = st.sch_ldr.remove(&txn).expect("entry exists");
+        self.txn_cluster.remove(&txn);
         let now = self.now;
         let mut worst = 1;
         for dest in entry.txn.shards() {
