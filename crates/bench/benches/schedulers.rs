@@ -66,7 +66,17 @@ fn bench_networked(c: &mut Criterion) {
     let mut g = c.benchmark_group("networked_runtime");
     g.sample_size(10);
     g.bench_function("net_bds_8shards_500rounds", |b| {
-        b.iter(|| runtime::run_networked_bds(&sys, &map, &adv, Round(500)))
+        b.iter(|| {
+            runtime::run_net_bds(
+                &sys,
+                &map,
+                &adv,
+                Round(500),
+                &cluster::UniformMetric::new(sys.shards),
+                Default::default(),
+                &simnet::FaultPlan::default(),
+            )
+        })
     });
     g.finish();
 }

@@ -1,0 +1,277 @@
+//! The threaded message plane: `simnet::Network` semantics for one OS
+//! thread per shard.
+//!
+//! A [`NetHub`] is the concurrent analogue of the simulator's delay-queue
+//! network: a message sent at round `r` over distance `d` is delivered at
+//! round `r + max(1, d)`, and each shard's per-round inbox is handed out
+//! sorted by `(sender, sender-sequence)` — the exact order the simulator
+//! uses (its global sort key is `(to, from, seq)` with per-sender `seq`,
+//! and a drain is per-destination already). Because sequence numbers are
+//! per sender and fault decisions are per directed link, nothing about
+//! delivery depends on how the shard threads interleave; the per-round
+//! barrier in the drivers only has to guarantee that round `r`'s sends
+//! are enqueued before round `r + 1` is drained.
+//!
+//! Sends go through a per-thread [`ShardPort`], which owns the sender's
+//! sequence counter and its outgoing [`LinkFaults`] streams; the hub
+//! itself only holds the locked delivery queues and the shared counters
+//! (messages, payload bytes, drops, duplicates).
+
+use cluster::ShardMetric;
+use parking_lot::Mutex;
+use sharding_core::ShardId;
+use simnet::faults::{FaultDecision, FaultPlan, LinkFaults};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A delivered message: sender plus the sender-local sequence number used
+/// as the deterministic tie-break.
+#[derive(Debug)]
+pub struct NetEnvelope<P> {
+    /// Sending shard.
+    pub from: ShardId,
+    /// Sender-local sequence number.
+    pub seq: u64,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+/// The shared delivery plane. One instance per run, referenced by every
+/// shard thread.
+pub struct NetHub<P> {
+    /// Per-destination delay queues keyed by delivery round.
+    boxes: Vec<Mutex<BTreeMap<u64, Vec<NetEnvelope<P>>>>>,
+    /// Distance matrix snapshot (row-major).
+    dist: Vec<u64>,
+    shards: usize,
+    sizer: fn(&P) -> usize,
+    sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    max_message_bytes: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl<P> NetHub<P> {
+    /// Builds the hub over `metric` with a payload sizer (the same
+    /// estimator the simulator uses, so `max_message_bytes` agrees).
+    pub fn new(metric: &dyn ShardMetric, sizer: fn(&P) -> usize) -> Self {
+        let s = metric.shards();
+        let mut dist = vec![0u64; s * s];
+        for a in 0..s {
+            for b in 0..s {
+                dist[a * s + b] = metric.distance(ShardId(a as u32), ShardId(b as u32));
+            }
+        }
+        NetHub {
+            boxes: (0..s).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            dist,
+            shards: s,
+            sizer,
+            sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            max_message_bytes: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// Distance (in rounds) between two shards.
+    #[inline]
+    pub fn distance(&self, a: ShardId, b: ShardId) -> u64 {
+        self.dist[a.index() * self.shards + b.index()]
+    }
+
+    /// Removes and returns the messages due for `shard` at `round`,
+    /// sorted by `(sender, sender-sequence)`.
+    pub fn drain(&self, shard: ShardId, round: u64) -> Vec<NetEnvelope<P>> {
+        let mut due = self.boxes[shard.index()]
+            .lock()
+            .remove(&round)
+            .unwrap_or_default();
+        due.sort_by_key(|e| (e.from, e.seq));
+        due
+    }
+
+    /// Total protocol sends attempted (dropped messages included,
+    /// fault-plane duplicates excluded — matching the simulator's
+    /// `sent_count`, which counts the scheduler's `send` calls).
+    pub fn sent_count(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes across attempted sends.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Largest single payload observed.
+    pub fn max_message_bytes(&self) -> u64 {
+        self.max_message_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by the fault plane.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages duplicated by the fault plane.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard thread's sending endpoint: sequence counter plus the fault
+/// streams of its outgoing links, created lazily per destination.
+pub struct ShardPort<'h, P> {
+    hub: &'h NetHub<P>,
+    from: ShardId,
+    seq: u64,
+    plan: Option<FaultPlan>,
+    links: Vec<Option<LinkFaults>>,
+}
+
+impl<'h, P: Clone> ShardPort<'h, P> {
+    /// Creates the port for `from`. An inert plan disables the fault path
+    /// entirely.
+    pub fn new(hub: &'h NetHub<P>, from: ShardId, plan: &FaultPlan) -> Self {
+        let plan = (!plan.is_inert()).then(|| plan.clone());
+        ShardPort {
+            links: (0..hub.shards).map(|_| None).collect(),
+            hub,
+            from,
+            seq: 0,
+            plan,
+        }
+    }
+
+    /// Sends `payload` to `to` at round `now`, honoring metric delay and
+    /// the link's fault stream. Sequence-number consumption matches
+    /// `simnet::Network`: a dropped message still consumes one sequence
+    /// number, a duplicated one consumes two.
+    pub fn send(&mut self, to: ShardId, now: u64, payload: P) {
+        let hub = self.hub;
+        let bytes = (hub.sizer)(&payload) as u64;
+        hub.sent.fetch_add(1, Ordering::Relaxed);
+        hub.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        hub.max_message_bytes.fetch_max(bytes, Ordering::Relaxed);
+        let decision = match &self.plan {
+            None => FaultDecision::Deliver,
+            Some(plan) => self.links[to.index()]
+                .get_or_insert_with(|| plan.link(self.from, to))
+                .decide(),
+        };
+        if decision == FaultDecision::Drop {
+            self.seq += 1;
+            hub.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let copies = if decision == FaultDecision::Duplicate {
+            hub.duplicated.fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+        let deliver_at = now + hub.distance(self.from, to).max(1);
+        let mut inbox = hub.boxes[to.index()].lock();
+        let slot = inbox.entry(deliver_at).or_default();
+        // Clone only the extra fault-plane duplicates; the common
+        // single-copy payload is moved.
+        for _ in 1..copies {
+            slot.push(NetEnvelope {
+                from: self.from,
+                seq: self.seq,
+                payload: payload.clone(),
+            });
+            self.seq += 1;
+        }
+        slot.push(NetEnvelope {
+            from: self.from,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{LineMetric, UniformMetric};
+
+    fn sizer(_: &u32) -> usize {
+        4
+    }
+
+    #[test]
+    fn delivers_with_metric_delay_in_sender_order() {
+        let m = LineMetric::new(4);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer);
+        let inert = FaultPlan::default();
+        let mut p0 = ShardPort::new(&hub, ShardId(0), &inert);
+        let mut p1 = ShardPort::new(&hub, ShardId(1), &inert);
+        p1.send(ShardId(3), 0, 30); // distance 2 → round 2
+        p0.send(ShardId(3), 0, 10); // distance 3 → round 3
+        p0.send(ShardId(3), 1, 11); // distance 3 → round 4
+        p1.send(ShardId(3), 1, 31); // distance 2 → round 3
+        assert!(hub.drain(ShardId(3), 1).is_empty());
+        assert_eq!(
+            hub.drain(ShardId(3), 2)
+                .iter()
+                .map(|e| e.payload)
+                .collect::<Vec<_>>(),
+            vec![30]
+        );
+        // Round 3: shard 0's first message sorts before shard 1's second.
+        let due = hub.drain(ShardId(3), 3);
+        let key: Vec<(u32, u64, u32)> = due
+            .iter()
+            .map(|e| (e.from.raw(), e.seq, e.payload))
+            .collect();
+        assert_eq!(key, vec![(0, 0, 10), (1, 1, 31)]);
+        assert_eq!(hub.sent_count(), 4);
+        assert_eq!(hub.max_message_bytes(), 4);
+    }
+
+    #[test]
+    fn self_send_takes_one_round() {
+        let m = UniformMetric::new(2);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer);
+        let mut p = ShardPort::new(&hub, ShardId(1), &FaultPlan::default());
+        p.send(ShardId(1), 5, 9);
+        assert_eq!(hub.drain(ShardId(1), 6).len(), 1);
+    }
+
+    #[test]
+    fn fault_streams_match_simnet_network() {
+        // The same plan applied to the same per-link traffic must drop
+        // and duplicate the same message indices as simnet::Network —
+        // both sides consume one draw per message from the same stream.
+        let plan = FaultPlan {
+            drop_prob: 0.25,
+            dup_prob: 0.25,
+            ..FaultPlan::default()
+        };
+        let m = UniformMetric::new(2);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer);
+        let mut port = ShardPort::new(&hub, ShardId(0), &plan);
+        let mut net: simnet::Network<u32> = simnet::Network::new(&m);
+        net.set_faults(plan);
+        for i in 0..100 {
+            port.send(ShardId(1), i, i as u32);
+            net.send(ShardId(0), ShardId(1), sharding_core::Round(i), i as u32);
+        }
+        let hub_seen: Vec<u32> = (1..=101)
+            .flat_map(|r| hub.drain(ShardId(1), r))
+            .map(|e| e.payload)
+            .collect();
+        let net_seen: Vec<u32> = (1..=101)
+            .flat_map(|r| net.deliver_due(sharding_core::Round(r)))
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(hub_seen, net_seen);
+        assert_eq!(hub.dropped_count(), net.dropped_count());
+        assert_eq!(hub.duplicated_count(), net.duplicated_count());
+        assert!(hub.dropped_count() > 0 && hub.duplicated_count() > 0);
+    }
+}

@@ -1,27 +1,46 @@
 //! # runtime
 //!
-//! A *networked* execution of the BDS protocol: one OS thread per shard,
-//! real concurrent message passing, barrier-synchronized rounds.
+//! The *networked* execution engine: one OS thread per shard, real
+//! concurrent message passing over metric-delay queues, one barrier per
+//! round — for both schedulers, over any [`cluster::ShardMetric`].
 //!
-//! The simulator in `schedulers::bds` drives all shards from one loop with
-//! an omniscient view; this crate is the opposite discipline — each shard
+//! The simulators in `schedulers` drive all shards from one loop with an
+//! omniscient view; this crate is the opposite discipline — each shard
 //! is its own thread holding only shard-local state, exchanging protocol
-//! messages through per-shard mailboxes, with two barriers per round
-//! (compute / deliver). The leader broadcasts the epoch plan (coloring +
-//! color count) to every shard, so epoch lengths are learned through
-//! messages rather than shared memory, exactly as a deployment would.
+//! messages through the [`hub::NetHub`] delay queues. BDS epoch lengths
+//! are learned from the leader's broadcast plan (the simulator sends the
+//! identical broadcast), FDS schedules are pure functions of round
+//! number and the shared hierarchy, and delivery order is pinned by
+//! per-sender sequence numbers — so a fault-free networked run produces
+//! a `RunReport` **byte-identical** to the simulator's for the same
+//! inputs. `tests/differential.rs` enforces that equality field by
+//! field, including the floating-point latency and queue means.
+//!
+//! On top of that mirror sits the [`simnet::FaultPlan`] fault plane:
+//! seeded shard crashes, per-link message drop/duplication, and
+//! Byzantine vote flipping inside the per-round PBFT instances — all
+//! deterministic in the plan seed, independent of thread interleaving,
+//! with injected-fault counters surfaced in `RunReport::faults`.
 //!
 //! The original reproduction hint suggests tokio for this variant; the
 //! approved offline dependency set does not include it, so the runtime
-//! uses `std::thread::scope` + `parking_lot` mailboxes instead, which
+//! uses `std::thread::scope` + `parking_lot` queues instead, which
 //! exercises the same code path (concurrent delivery, nondeterministic
-//! arrival order within a round, deterministic round barrier). Mailboxes
-//! are drained in `(from, seq)` order, making the whole execution
-//! bit-deterministic — tests cross-validate it against the simulator.
+//! arrival interleaving within a round, deterministic round barrier).
+//!
+//! Scenario files select this engine with `engine = net` (see
+//! [`EngineKind`]); `blockshard run` then routes jobs through
+//! [`run_net_bds`] / [`run_net_fds`] instead of the simulators.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod hub;
 pub mod netbds;
+pub mod netfds;
 
-pub use netbds::{run_networked_bds, NetReport};
+pub use engine::EngineKind;
+pub use hub::{NetEnvelope, NetHub, ShardPort};
+pub use netbds::{run_net_bds, NetOutcome};
+pub use netfds::run_net_fds;

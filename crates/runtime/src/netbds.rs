@@ -1,228 +1,316 @@
-//! Thread-per-shard networked BDS.
+//! Thread-per-shard networked BDS over any [`ShardMetric`].
 //!
-//! Protocol identical to `schedulers::bds` (Algorithm 1, uniform model),
-//! but executed by `s` concurrent shard threads that communicate only
-//! through mailboxes. Two barriers per round separate *compute* (drain the
-//! previous round's inbox, act, send) from *deliver* (swap mailboxes), so
-//! a message sent in round `r` is processed in round `r+1` — the uniform
-//! model's unit distance.
+//! Runs the *identical* protocol as `schedulers::bds::BdsSim` — same
+//! messages, same byte estimates, same phase timing — but executed by
+//! `s` concurrent shard threads that communicate only through the
+//! [`NetHub`] delay queues (one barrier per round separates "all sends
+//! for round r are enqueued" from "round r+1 drains"). Each thread holds
+//! only shard-local state; epoch lengths are learned from the leader's
+//! broadcast plan, and epochs with nothing scheduled advance by the
+//! two-gap timeout, exactly like the simulator since both sides observe
+//! the same plan flow.
 //!
-//! One deliberate difference from the simulator: the leader broadcasts the
-//! epoch plan (color assignments + color count) to **all** shards, because
-//! without shared memory every shard must learn the epoch length from a
-//! message. Everything else matches round-for-round, which the tests
-//! exploit by cross-validating commit counts and latencies against
-//! `schedulers::bds::BdsSim` on identical workloads (`schedulers` is a
-//! dev-dependency here, so this cannot be an intra-doc link).
+//! The headline guarantee is differential: with an inert [`FaultPlan`],
+//! [`run_net_bds`] returns a [`RunReport`] **byte-identical** to
+//! `run_bds_with_metric` on the same inputs — commits, latencies, queue
+//! series, message counts, verdict, everything (`runtime/tests/
+//! differential.rs` enforces it). The merge step replays per-shard
+//! commit events in the simulator's global order — `(round, home shard,
+//! arrival index)` — so even the floating-point latency accumulation is
+//! bit-equal.
+//!
+//! With a non-inert fault plan the run stays deterministic (fault
+//! decisions are per-link ChaCha streams, independent of thread
+//! interleaving) but the protocol is allowed to degrade: crashed shards
+//! freeze, dropped ballots strand transactions as forever-pending, and
+//! the injected-fault counters surface in [`RunReport::faults`].
 
+use crate::hub::{NetEnvelope, NetHub, ShardPort};
 use adversary::{Adversary, AdversaryConfig};
+use cluster::ShardMetric;
+use conflict::{color_transactions_with, ColoringScratch};
 use parking_lot::Mutex;
+use schedulers::bds::BdsConfig;
+use schedulers::metrics::{MetricsCollector, RunReport, SchedulerKind};
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
-use simnet::pbft::{ConsensusOutcome, PbftShard, Vote};
+use simnet::faults::{FaultCounters, FaultPlan};
+use simnet::pbft::{ConsensusOutcome, PbftShard};
 use simnet::{LocalChain, ShardLedger};
 use std::collections::BTreeMap;
 use std::sync::Barrier;
 
-/// Messages of the networked protocol.
+/// Messages of the networked BDS protocol — field-for-field the
+/// simulator's `Msg`, and [`msg_bytes`] must stay in lockstep with
+/// `schedulers::bds::msg_bytes` (the differential tests compare
+/// `max_message_bytes`, so drift fails loudly).
 #[derive(Debug, Clone)]
 enum Msg {
-    /// Home → leader: pending transactions (phase 1).
+    /// Phase 1: home shard → leader, all pending transactions.
     TxnInfo(Vec<Transaction>),
-    /// Leader → everyone: the epoch's coloring and color count (phase 2).
-    EpochPlan {
+    /// Phase 2: leader → every shard, its assignments + the color count.
+    ColorAssign {
         assignments: Vec<(TxnId, u32)>,
         num_colors: u32,
     },
-    /// Home → destination: subtransaction plus the home shard for replies.
-    SubTxn { sub: SubTransaction, home: ShardId },
-    /// Destination → home: validity vote.
-    Ballot { txn: TxnId, commit: bool },
-    /// Home → destination: final decision.
+    /// Phase 3 round 1: home → destination.
+    SubTxn(SubTransaction),
+    /// Phase 3 round 2: destination → home.
+    Vote { txn: TxnId, commit: bool },
+    /// Phase 3 round 3: home → destination.
     Decision { txn: TxnId, commit: bool },
 }
 
-#[derive(Debug)]
-struct Envelope {
-    from: u32,
-    seq: u64,
-    msg: Msg,
+/// Estimated wire size; mirrors `schedulers::bds::msg_bytes` exactly.
+fn msg_bytes(m: &Msg) -> usize {
+    match m {
+        Msg::TxnInfo(txns) => 16 + txns.iter().map(|t| t.approx_bytes()).sum::<usize>(),
+        Msg::ColorAssign { assignments, .. } => 8 + 12 * assignments.len(),
+        Msg::SubTxn(sub) => sub.approx_bytes(),
+        Msg::Vote { .. } | Msg::Decision { .. } => 17,
+    }
 }
 
-/// Aggregated result of a networked run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct NetReport {
-    /// Rounds executed.
-    pub rounds: u64,
-    /// Transactions generated by the adversary.
-    pub generated: u64,
-    /// Transactions committed.
-    pub committed: u64,
-    /// Transactions aborted.
-    pub aborted: u64,
-    /// Pending at the end (injected but undecided).
-    pub pending_at_end: u64,
-    /// Mean commit latency in rounds.
-    pub avg_latency: f64,
-    /// Max commit latency in rounds.
-    pub max_latency: u64,
-    /// Total protocol messages exchanged.
-    pub messages: u64,
-    /// Intra-shard consensus instances executed (one per shard per round).
-    pub consensus_instances: u64,
-    /// Whether every local chain verified after the run.
+/// The result of a networked run: the standard report plus the raw
+/// commit log for round-for-round cross-validation.
+#[derive(Debug, Clone)]
+pub struct NetOutcome {
+    /// The standard per-run report (byte-identical to the simulator's on
+    /// fault-free runs, fault counters filled in otherwise).
+    pub report: RunReport,
+    /// `(commit round, txn)` in global decision order.
+    pub committed_log: Vec<(Round, TxnId)>,
+    /// Whether every shard's local chain verified after the run.
     pub chains_verified: bool,
-    /// Committed subtransactions appended across all local chains.
-    pub blocks: u64,
 }
 
-/// Per-transaction state at its home shard during an epoch.
+/// One commit/abort decision, recorded shard-locally and replayed
+/// globally in `(round, shard, index)` order by the merge step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommitEvent {
+    pub round: u64,
+    pub generated: Round,
+    pub commit_round: Round,
+    pub txn: TxnId,
+    pub committed: bool,
+}
+
+/// What one shard thread hands back to the merge step.
+pub(crate) struct NodeResult {
+    pub shard: usize,
+    pub events: Vec<CommitEvent>,
+    pub samples: Vec<[u64; 4]>,
+    pub epoch: u64,
+    pub max_epoch_len: u64,
+    pub chain_ok: bool,
+    pub counters: FaultCounters,
+}
+
+/// Replays per-shard commit events into `collector` in the simulator's
+/// global order and returns the merged committed log. Latency statistics
+/// accumulate in exactly the simulator's push order, so the floating-
+/// point mean is bit-equal.
+pub(crate) fn replay_events(
+    collector: &mut MetricsCollector,
+    results: &[NodeResult],
+    round: u64,
+    cursors: &mut [usize],
+    log: &mut Vec<(Round, TxnId)>,
+) {
+    for (sh, res) in results.iter().enumerate() {
+        let evs = &res.events;
+        let mut i = cursors[sh];
+        while i < evs.len() && evs[i].round == round {
+            let e = evs[i];
+            if e.committed {
+                collector.record_commit(e.generated, e.commit_round);
+                log.push((e.commit_round, e.txn));
+            } else {
+                collector.record_abort();
+            }
+            i += 1;
+        }
+        cursors[sh] = i;
+    }
+}
+
+/// Evaluates the adversary up front (it is a pure function of its seed)
+/// and partitions the workload per `(round, home shard)`; returns the
+/// schedule plus the total generated count. Shared by both networked
+/// drivers so the generation accounting cannot drift between them.
+pub(crate) fn pregenerate_workload(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    total: u64,
+) -> (Vec<Vec<Vec<Transaction>>>, u64) {
+    let s = sys.shards;
+    let mut adversary = Adversary::new(sys, map, *adv);
+    let mut inject: Vec<Vec<Vec<Transaction>>> = Vec::with_capacity(total as usize);
+    let mut generated = 0u64;
+    for r in 0..total {
+        let mut per_shard: Vec<Vec<Transaction>> = vec![Vec::new(); s];
+        for t in adversary.generate(Round(r)) {
+            generated += 1;
+            per_shard[t.home.index()].push(t);
+        }
+        inject.push(per_shard);
+    }
+    (inject, generated)
+}
+
+/// Fills the report's fault counters from the per-shard tallies plus the
+/// hub's message-plane totals and seals the [`NetOutcome`]. Shared by
+/// both networked drivers so a new counter cannot be merged in one
+/// engine and silently missed in the other.
+pub(crate) fn seal_outcome<P>(
+    mut report: RunReport,
+    res: &[NodeResult],
+    hub: &NetHub<P>,
+    log: Vec<(Round, TxnId)>,
+) -> NetOutcome {
+    let mut counters = FaultCounters::default();
+    for r in res {
+        counters.merge(&r.counters);
+    }
+    counters.dropped = hub.dropped_count();
+    counters.duplicated = hub.duplicated_count();
+    report.faults = counters;
+    NetOutcome {
+        report,
+        committed_log: log,
+        chains_verified: res.iter().all(|r| r.chain_ok),
+    }
+}
+
+/// Per-transaction state at its home shard (simulator's `EpochEntry`).
 struct EpochEntry {
     txn: Transaction,
     color: Option<u32>,
-    votes: usize,
-    abort: bool,
+    /// Vote per destination shard. Keyed by sender (not a bare count) so
+    /// a fault-plane duplicated `Vote` — or a re-vote triggered by a
+    /// duplicated `SubTxn` — stays idempotent: faults may strand
+    /// transactions, never decide them early.
+    votes: BTreeMap<ShardId, bool>,
     decided: bool,
 }
 
 /// All state owned by one shard thread.
-struct ShardNode {
+struct ShardNode<'a> {
     id: ShardId,
     s: usize,
+    bcfg: BdsConfig,
+    plan: &'a FaultPlan,
+    fault_free: bool,
+    /// My row of the distance matrix (for commit-round accounting).
+    dist_row: Vec<u64>,
     ledger: ShardLedger,
     chain: LocalChain,
     pbft: PbftShard,
-    pending: Vec<Transaction>,
+    injection: Vec<Transaction>,
     epoch_txns: BTreeMap<TxnId, EpochEntry>,
-    parked: BTreeMap<TxnId, (SubTransaction, ShardId)>,
+    color_groups: Vec<Vec<TxnId>>,
+    parked: BTreeMap<TxnId, SubTransaction>,
     append_buf: Vec<SubTransaction>,
     leader_buffer: Vec<Transaction>,
+    gap: u64,
+    now: u64,
     epoch: u64,
     epoch_start: u64,
-    num_colors: u32,
-    next_epoch_start: Option<u64>,
-    seq: u64,
-    // Local tallies.
-    sent: u64,
-    committed: u64,
-    aborted: u64,
-    latency_sum: u64,
-    latency_max: u64,
-    consensus_instances: u64,
-    /// Current round, refreshed at the top of every `compute` call; used
-    /// by message handlers for latency accounting and chain timestamps.
-    round_hint: u64,
+    /// Known end of the current epoch: set locally when this shard is
+    /// the coloring leader, or from the broadcast plan on arrival. `None`
+    /// until then; the two-gap timeout covers plan-free (empty) epochs.
+    next_epoch_at: Option<u64>,
+    undecided: u64,
+    max_epoch_len: u64,
+    coloring_scratch: ColoringScratch,
+    assign_scratch: Vec<Vec<(TxnId, u32)>>,
+    events: Vec<CommitEvent>,
+    samples: Vec<[u64; 4]>,
+    counters: FaultCounters,
 }
 
-impl ShardNode {
+impl<'a> ShardNode<'a> {
     fn leader(&self) -> u32 {
-        (self.epoch % self.s as u64) as u32
+        if self.bcfg.rotate_leader {
+            (self.epoch % self.s as u64) as u32
+        } else {
+            0
+        }
     }
 
-    fn send(&mut self, out: &mut Vec<(usize, Envelope)>, to: u32, msg: Msg) {
-        out.push((
-            to as usize,
-            Envelope {
-                from: self.id.raw(),
-                seq: self.seq,
-                msg,
-            },
-        ));
-        self.seq += 1;
-        self.sent += 1;
-    }
-
-    /// One compute phase: act on `inbox` (previous round's messages) and
-    /// the current round number, emitting messages into `out`.
-    fn compute(&mut self, round: u64, inbox: Vec<Envelope>, out: &mut Vec<(usize, Envelope)>) {
-        // 0. Intra-shard consensus on this round's inbox digest: the round
-        //    abstraction of the paper, executed for real.
+    /// One full round, mirroring `BdsSim::step` (injection happens in the
+    /// caller, before this).
+    fn run_round(&mut self, inbox: Vec<NetEnvelope<Msg>>, port: &mut ShardPort<'_, Msg>) {
+        let round = self.now;
+        // 0. Intra-shard consensus on this round's inbox digest — the
+        //    paper's round abstraction executed for real, with the fault
+        //    plane's Byzantine voters flipped in. Purely local: it never
+        //    touches the report, so fault-free byte-identity holds.
         let digest = round ^ ((inbox.len() as u64) << 32) ^ (self.id.raw() as u64);
-        let outcome = self.pbft.decide_with_faults(digest, Vote::Silent);
+        let flips = self.plan.byz_flips_for(self.pbft.faulty());
+        let outcome = self.pbft.decide_with_byzantine(digest, flips);
         debug_assert_eq!(outcome, ConsensusOutcome::Decided(digest));
-        self.consensus_instances += 1;
+        let _ = outcome;
+        self.counters.byz_flips += flips as u64;
 
-        // 1. Handle messages from the previous round.
+        // 1. Delivery (the simulator delivers before the epoch
+        //    transition for exactly this mirror).
         for env in inbox {
-            self.handle(env.from, env.msg, out);
+            self.handle(env.from, env.payload, port);
         }
 
-        // 2. Epoch rollover (decided by the EpochPlan received above).
-        if self.next_epoch_start == Some(round) {
+        // 2. Epoch rollover: the plan told us the end, or the epoch was
+        //    empty (no plan broadcast) and the two coordination gaps have
+        //    passed.
+        let rollover = self.next_epoch_at == Some(round)
+            || (self.next_epoch_at.is_none() && round == self.epoch_start + 2 * self.gap);
+        if rollover {
+            self.max_epoch_len = self.max_epoch_len.max(round - self.epoch_start);
             self.epoch += 1;
             self.epoch_start = round;
-            self.next_epoch_start = None;
-            self.epoch_txns.clear();
-            self.num_colors = 0;
+            self.next_epoch_at = None;
+            if self.fault_free {
+                debug_assert!(
+                    self.epoch_txns.values().all(|e| e.decided),
+                    "undecided entry survived its epoch without faults"
+                );
+            }
+            self.epoch_txns.retain(|_, e| !e.decided);
+            for g in &mut self.color_groups {
+                g.clear();
+            }
         }
-        let r_epoch = round - self.epoch_start;
 
         // 3. Phase 1: forward pending transactions to the epoch leader.
-        if r_epoch == 0 && !self.pending.is_empty() {
-            let drained = std::mem::take(&mut self.pending);
-            for t in &drained {
+        if round == self.epoch_start && !self.injection.is_empty() {
+            let drained = std::mem::take(&mut self.injection);
+            self.undecided += drained.len() as u64;
+            let leader = self.leader();
+            port.send(ShardId(leader), round, Msg::TxnInfo(drained.clone()));
+            for t in drained {
                 self.epoch_txns.insert(
                     t.id,
                     EpochEntry {
-                        txn: t.clone(),
+                        txn: t,
                         color: None,
-                        votes: 0,
-                        abort: false,
+                        votes: BTreeMap::new(),
                         decided: false,
                     },
                 );
             }
-            let leader = self.leader();
-            self.send(out, leader, Msg::TxnInfo(drained));
         }
 
         // 4. Phase 2 (leader only): color and broadcast the epoch plan.
-        if r_epoch == 1 && self.id.raw() == self.leader() {
-            let txns = std::mem::take(&mut self.leader_buffer);
-            let (assignments, num_colors) = if txns.is_empty() {
-                (Vec::new(), 0)
-            } else {
-                // Identical to the simulator's default coloring path, so
-                // the cross-validation tests can demand exact agreement.
-                let coloring = conflict::greedy_by_accounts(&txns);
-                (
-                    txns.iter()
-                        .enumerate()
-                        .map(|(v, t)| (t.id, coloring.color(v)))
-                        .collect(),
-                    coloring.num_colors(),
-                )
-            };
-            for to in 0..self.s as u32 {
-                self.send(
-                    out,
-                    to,
-                    Msg::EpochPlan {
-                        assignments: assignments.clone(),
-                        num_colors,
-                    },
-                );
-            }
+        if round == self.epoch_start + self.gap
+            && self.next_epoch_at.is_none()
+            && self.id.raw() == self.leader()
+        {
+            self.phase2_color(port);
         }
 
         // 5. Phase 3: dispatch the color group designated for this round.
-        if r_epoch >= 2 && (r_epoch - 2).is_multiple_of(4) {
-            let z = ((r_epoch - 2) / 4) as u32;
-            if z < self.num_colors {
-                let mut sends: Vec<(u32, SubTransaction)> = Vec::new();
-                for e in self.epoch_txns.values() {
-                    if e.color == Some(z) && !e.decided {
-                        for sub in &e.txn.subs {
-                            sends.push((sub.dest.raw(), sub.clone()));
-                        }
-                    }
-                }
-                let home = self.id;
-                for (dest, sub) in sends {
-                    self.send(out, dest, Msg::SubTxn { sub, home });
-                }
-            }
-        }
+        self.phase3_dispatch(port);
 
         // 6. Seal this round's commits into one block.
         if !self.append_buf.is_empty() {
@@ -231,61 +319,123 @@ impl ShardNode {
         }
     }
 
-    fn handle(&mut self, from: u32, msg: Msg, out: &mut Vec<(usize, Envelope)>) {
+    fn phase2_color(&mut self, port: &mut ShardPort<'_, Msg>) {
+        let txns = std::mem::take(&mut self.leader_buffer);
+        let num_colors = if txns.is_empty() {
+            0
+        } else {
+            let coloring =
+                color_transactions_with(self.bcfg.coloring, &txns, &mut self.coloring_scratch);
+            for (v, t) in txns.iter().enumerate() {
+                self.assign_scratch[t.home.index()].push((t.id, coloring.color(v)));
+            }
+            coloring.num_colors()
+        };
+        if num_colors > 0 {
+            for h in 0..self.s {
+                let assignments = std::mem::take(&mut self.assign_scratch[h]);
+                port.send(
+                    ShardId(h as u32),
+                    self.now,
+                    Msg::ColorAssign {
+                        assignments,
+                        num_colors,
+                    },
+                );
+            }
+        }
+        self.next_epoch_at = Some(self.epoch_start + self.gap * (2 + 4 * num_colors as u64));
+    }
+
+    fn phase3_dispatch(&mut self, port: &mut ShardPort<'_, Msg>) {
+        let elapsed = self.now - self.epoch_start;
+        if elapsed < 2 * self.gap {
+            return;
+        }
+        let offset = elapsed - 2 * self.gap;
+        if !offset.is_multiple_of(4 * self.gap) {
+            return;
+        }
+        let z = (offset / (4 * self.gap)) as usize;
+        let Some(group) = self.color_groups.get_mut(z) else {
+            return;
+        };
+        let group = std::mem::take(group);
+        for txn in group {
+            let Some(entry) = self.epoch_txns.get(&txn) else {
+                continue;
+            };
+            if entry.decided {
+                continue;
+            }
+            for sub in &entry.txn.subs {
+                port.send(sub.dest, self.now, Msg::SubTxn(sub.clone()));
+            }
+        }
+    }
+
+    fn handle(&mut self, from: ShardId, msg: Msg, port: &mut ShardPort<'_, Msg>) {
         match msg {
             Msg::TxnInfo(txns) => self.leader_buffer.extend(txns),
-            Msg::EpochPlan {
+            Msg::ColorAssign {
                 assignments,
                 num_colors,
             } => {
-                self.num_colors = num_colors;
-                self.next_epoch_start = Some(self.epoch_start + 2 + 4 * num_colors as u64);
+                debug_assert!(num_colors > 0, "empty epochs broadcast no plan");
+                self.next_epoch_at =
+                    Some(self.epoch_start + self.gap * (2 + 4 * num_colors as u64));
                 for (txn, color) in assignments {
                     if let Some(e) = self.epoch_txns.get_mut(&txn) {
                         e.color = Some(color);
+                        let z = color as usize;
+                        if self.color_groups.len() <= z {
+                            self.color_groups.resize_with(z + 1, Vec::new);
+                        }
+                        self.color_groups[z].push(txn);
                     }
                 }
             }
-            Msg::SubTxn { sub, home } => {
+            Msg::SubTxn(sub) => {
                 let commit = self.ledger.check(&sub);
                 let txn = sub.txn;
-                self.parked.insert(txn, (sub, home));
-                self.send(out, home.raw(), Msg::Ballot { txn, commit });
+                self.parked.insert(txn, sub);
+                port.send(from, self.now, Msg::Vote { txn, commit });
             }
-            Msg::Ballot { txn, commit } => {
+            Msg::Vote { txn, commit } => {
                 let Some(e) = self.epoch_txns.get_mut(&txn) else {
                     return;
                 };
-                e.votes += 1;
-                e.abort |= !commit;
-                if e.votes == e.txn.shard_count() && !e.decided {
+                e.votes.insert(from, commit);
+                if e.votes.len() == e.txn.shard_count() && !e.decided {
                     e.decided = true;
-                    let commit_all = !e.abort;
+                    self.undecided -= 1;
+                    let commit_all = e.votes.values().all(|&v| v);
                     let generated = e.txn.generated;
-                    let dests: Vec<u32> = e.txn.shards().map(|s| s.raw()).collect();
+                    let first_dest = e.txn.subs[0].dest;
+                    let dests: Vec<ShardId> = e.txn.shards().collect();
                     for d in dests {
-                        self.send(
-                            out,
+                        port.send(
                             d,
+                            self.now,
                             Msg::Decision {
                                 txn,
                                 commit: commit_all,
                             },
                         );
                     }
-                    if commit_all {
-                        // Destinations append next round.
-                        let lat = self.round_hint + 1 - generated.raw();
-                        self.latency_sum += lat;
-                        self.latency_max = self.latency_max.max(lat);
-                        self.committed += 1;
-                    } else {
-                        self.aborted += 1;
-                    }
+                    // Destinations append one gap later.
+                    let commit_round = self.now + self.dist_row[first_dest.index()].max(1);
+                    self.events.push(CommitEvent {
+                        round: self.now,
+                        generated,
+                        commit_round: Round(commit_round),
+                        txn,
+                        committed: commit_all,
+                    });
                 }
             }
             Msg::Decision { txn, commit } => {
-                if let Some((sub, _)) = self.parked.remove(&txn) {
+                if let Some(sub) = self.parked.remove(&txn) {
                     if commit {
                         self.ledger.apply(&sub);
                         self.append_buf.push(sub);
@@ -293,244 +443,142 @@ impl ShardNode {
                 }
             }
         }
-        let _ = from;
     }
 }
 
-/// Runs the networked BDS for `rounds` rounds. The adversary is evaluated
-/// up front (it is deterministic), partitioned per (round, home shard),
-/// and each thread reads only its own slice.
-pub fn run_networked_bds(
+/// Runs the networked BDS: the adversary is evaluated up front (it is a
+/// pure function of its seed), partitioned per `(round, home shard)`, and
+/// each shard thread reads only its own slice.
+#[allow(clippy::too_many_arguments)]
+pub fn run_net_bds(
     sys: &SystemConfig,
     map: &AccountMap,
     adv: &AdversaryConfig,
     rounds: Round,
-) -> NetReport {
+    metric: &dyn ShardMetric,
+    bcfg: BdsConfig,
+    faults: &FaultPlan,
+) -> NetOutcome {
     sys.validate().expect("valid system config");
+    assert_eq!(metric.shards(), sys.shards);
+    faults.validate(sys.shards).expect("valid fault plan");
     let s = sys.shards;
-    let total_rounds = rounds.raw();
+    let total = rounds.raw();
+    let gap = metric.diameter().max(1);
 
-    // Pre-generate the adversarial workload per (round, shard).
-    let mut adversary = Adversary::new(sys, map, *adv);
-    let mut inject: Vec<Vec<Vec<Transaction>>> = Vec::with_capacity(total_rounds as usize);
-    let mut generated = 0u64;
-    for r in 0..total_rounds {
-        let mut per_shard: Vec<Vec<Transaction>> = vec![Vec::new(); s];
-        for t in adversary.generate(Round(r)) {
-            generated += 1;
-            per_shard[t.home.index()].push(t);
-        }
-        inject.push(per_shard);
-    }
+    let (inject, generated) = pregenerate_workload(sys, map, adv, total);
 
-    let mailboxes: Vec<Mutex<Vec<Envelope>>> = (0..s).map(|_| Mutex::new(Vec::new())).collect();
+    let hub: NetHub<Msg> = NetHub::new(metric, msg_bytes);
     let barrier = Barrier::new(s);
-    let results: Mutex<Vec<(usize, NodeResult)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<NodeResult>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for shard in 0..s {
-            let mailboxes = &mailboxes;
+            let hub = &hub;
             let barrier = &barrier;
             let results = &results;
             let inject = &inject;
-            let map_ref = map;
-            let sys_ref = sys;
+            let dist_row: Vec<u64> = (0..s)
+                .map(|b| metric.distance(ShardId(shard as u32), ShardId(b as u32)))
+                .collect();
             scope.spawn(move || {
                 let id = ShardId(shard as u32);
+                let mut port = ShardPort::new(hub, id, faults);
                 let mut node = ShardNode {
                     id,
                     s,
-                    ledger: ShardLedger::new(id, map_ref, 1_000_000),
+                    bcfg,
+                    plan: faults,
+                    fault_free: faults.is_inert(),
+                    dist_row,
+                    ledger: ShardLedger::new(id, map, bcfg.initial_balance),
                     chain: LocalChain::new(id),
-                    pbft: PbftShard::new(id, sys_ref.nodes_per_shard, sys_ref.faulty_per_shard)
+                    pbft: PbftShard::new(id, sys.nodes_per_shard, sys.faulty_per_shard)
                         .expect("validated config"),
-                    pending: Vec::new(),
+                    injection: Vec::new(),
                     epoch_txns: BTreeMap::new(),
+                    color_groups: Vec::new(),
                     parked: BTreeMap::new(),
                     append_buf: Vec::new(),
                     leader_buffer: Vec::new(),
+                    gap,
+                    now: 0,
                     epoch: 0,
                     epoch_start: 0,
-                    num_colors: 0,
-                    next_epoch_start: None,
-                    seq: 0,
-                    sent: 0,
-                    committed: 0,
-                    aborted: 0,
-                    latency_sum: 0,
-                    latency_max: 0,
-                    consensus_instances: 0,
-                    round_hint: 0,
+                    next_epoch_at: None,
+                    undecided: 0,
+                    max_epoch_len: 0,
+                    coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+                    assign_scratch: vec![Vec::new(); s],
+                    events: Vec::new(),
+                    samples: Vec::with_capacity(total as usize),
+                    counters: FaultCounters::default(),
                 };
-                let mut inbox: Vec<Envelope> = Vec::new();
-                for round in 0..total_rounds {
-                    node.round_hint = round;
-                    // Injection for this round.
-                    node.pending
-                        .extend(inject[round as usize][shard].iter().cloned());
-                    // Compute phase.
-                    let mut out: Vec<(usize, Envelope)> = Vec::new();
-                    node.compute(round, std::mem::take(&mut inbox), &mut out);
-                    for (to, env) in out {
-                        mailboxes[to].lock().push(env);
+                let crash_at = faults.crash_round(id).map(|r| r.raw());
+                for round in 0..total {
+                    node.now = round;
+                    if crash_at == Some(round) {
+                        node.counters.crashes += 1;
                     }
-                    barrier.wait();
-                    // Deliver phase: take my mailbox, order deterministically.
-                    let mut mine = std::mem::take(&mut *mailboxes[shard].lock());
-                    mine.sort_by_key(|e| (e.from, e.seq));
-                    inbox = mine;
+                    let crashed = crash_at.is_some_and(|c| round >= c);
+                    // Injection: generated work accumulates even on a
+                    // crashed shard (it counts as pending, unserviced).
+                    node.injection
+                        .extend(inject[round as usize][shard].iter().cloned());
+                    if crashed {
+                        // A dead shard neither sends nor processes;
+                        // drain to keep the hub's memory bounded.
+                        drop(hub.drain(id, round));
+                    } else {
+                        let inbox = hub.drain(id, round);
+                        node.run_round(inbox, &mut port);
+                    }
+                    node.samples
+                        .push([node.injection.len() as u64 + node.undecided, 0, 0, 0]);
                     barrier.wait();
                 }
-                let pending = node.pending.len() as u64
-                    + node.epoch_txns.values().filter(|e| !e.decided).count() as u64;
-                results.lock().push((
+                results.lock().push(NodeResult {
                     shard,
-                    NodeResult {
-                        committed: node.committed,
-                        aborted: node.aborted,
-                        pending,
-                        latency_sum: node.latency_sum,
-                        latency_max: node.latency_max,
-                        sent: node.sent,
-                        consensus_instances: node.consensus_instances,
-                        chain_ok: node.chain.verify(),
-                        blocks: node.chain.sub_count() as u64,
-                    },
-                ));
+                    events: node.events,
+                    samples: node.samples,
+                    epoch: node.epoch,
+                    max_epoch_len: node.max_epoch_len,
+                    chain_ok: node.chain.verify(),
+                    counters: node.counters,
+                });
             });
         }
     });
 
     let mut res = results.into_inner();
-    res.sort_by_key(|(i, _)| *i);
-    let mut report = NetReport {
-        rounds: total_rounds,
+    res.sort_by_key(|r| r.shard);
+
+    let mut collector = MetricsCollector::new(s);
+    let mut log = Vec::new();
+    let mut cursors = vec![0usize; s];
+    let mut pending_at_end = 0u64;
+    for round in 0..total {
+        replay_events(&mut collector, &res, round, &mut cursors, &mut log);
+        let total_pending: u64 = res.iter().map(|r| r.samples[round as usize][0]).sum();
+        collector.sample_pending(total_pending);
+        pending_at_end = total_pending;
+    }
+
+    // Fault-free, every shard observes the same epoch sequence (the
+    // differential tests pin res[0] == max). Under faults a crashed or
+    // desynced shard's counters freeze, so report the furthest view of
+    // the run rather than whatever shard 0 saw.
+    let epochs = res.iter().map(|r| r.epoch).max().unwrap_or(0);
+    let max_epoch_len = res.iter().map(|r| r.max_epoch_len).max().unwrap_or(0);
+    let report = collector.finish(
+        SchedulerKind::Bds,
+        total,
         generated,
-        committed: 0,
-        aborted: 0,
-        pending_at_end: 0,
-        avg_latency: 0.0,
-        max_latency: 0,
-        messages: 0,
-        consensus_instances: 0,
-        chains_verified: true,
-        blocks: 0,
-    };
-    let mut latency_sum = 0u64;
-    for (_, r) in &res {
-        report.committed += r.committed;
-        report.aborted += r.aborted;
-        report.pending_at_end += r.pending;
-        latency_sum += r.latency_sum;
-        report.max_latency = report.max_latency.max(r.latency_max);
-        report.messages += r.sent;
-        report.consensus_instances += r.consensus_instances;
-        report.chains_verified &= r.chain_ok;
-        report.blocks += r.blocks;
-    }
-    if report.committed > 0 {
-        report.avg_latency = latency_sum as f64 / report.committed as f64;
-    }
-    report
-}
-
-struct NodeResult {
-    committed: u64,
-    aborted: u64,
-    pending: u64,
-    latency_sum: u64,
-    latency_max: u64,
-    sent: u64,
-    consensus_instances: u64,
-    chain_ok: bool,
-    blocks: u64,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use adversary::StrategyKind;
-    use schedulers::bds::run_bds;
-
-    fn sys8() -> (SystemConfig, AccountMap) {
-        let sys = SystemConfig {
-            shards: 8,
-            accounts: 8,
-            k_max: 3,
-            nodes_per_shard: 4,
-            faulty_per_shard: 1,
-        };
-        let map = AccountMap::round_robin(&sys);
-        (sys, map)
-    }
-
-    #[test]
-    fn networked_matches_simulator() {
-        let (sys, map) = sys8();
-        let adv = AdversaryConfig {
-            rho: 0.05,
-            burstiness: 3,
-            strategy: StrategyKind::UniformRandom,
-            seed: 17,
-            ..Default::default()
-        };
-        let net = run_networked_bds(&sys, &map, &adv, Round(800));
-        let sim = run_bds(&sys, &map, &adv, Round(800));
-        assert_eq!(net.generated, sim.generated);
-        assert_eq!(
-            net.committed,
-            sim.committed,
-            "net {net:?} vs sim {}",
-            sim.summary()
-        );
-        assert_eq!(net.aborted, sim.aborted);
-        assert_eq!(net.max_latency, sim.max_latency);
-        assert!((net.avg_latency - sim.avg_latency).abs() < 1e-9);
-        assert!(net.chains_verified);
-    }
-
-    #[test]
-    fn networked_is_deterministic() {
-        let (sys, map) = sys8();
-        let adv = AdversaryConfig {
-            rho: 0.08,
-            burstiness: 4,
-            strategy: StrategyKind::SingleBurst { burst_round: 50 },
-            seed: 23,
-            ..Default::default()
-        };
-        let a = run_networked_bds(&sys, &map, &adv, Round(400));
-        let b = run_networked_bds(&sys, &map, &adv, Round(400));
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn consensus_runs_every_round_per_shard() {
-        let (sys, map) = sys8();
-        let adv = AdversaryConfig {
-            rho: 0.02,
-            burstiness: 1,
-            strategy: StrategyKind::UniformRandom,
-            seed: 5,
-            ..Default::default()
-        };
-        let net = run_networked_bds(&sys, &map, &adv, Round(100));
-        assert_eq!(net.consensus_instances, 8 * 100);
-    }
-
-    #[test]
-    fn blocks_equal_committed_subtransactions() {
-        let (sys, map) = sys8();
-        let adv = AdversaryConfig {
-            rho: 0.05,
-            burstiness: 2,
-            strategy: StrategyKind::UniformRandom,
-            seed: 31,
-            ..Default::default()
-        };
-        let net = run_networked_bds(&sys, &map, &adv, Round(600));
-        assert!(net.committed > 0);
-        assert!(net.blocks >= net.committed, "each txn appends >= 1 block");
-        assert!(net.chains_verified);
-    }
+        pending_at_end,
+        epochs,
+        max_epoch_len,
+        hub.sent_count(),
+        hub.max_message_bytes(),
+    );
+    seal_outcome(report, &res, &hub, log)
 }

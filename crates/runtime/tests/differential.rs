@@ -1,0 +1,394 @@
+//! Cross-validation of the networked engine against the shared-memory
+//! simulators: on identical seeded workloads, a fault-free networked run
+//! must reproduce the simulator's `RunReport` **byte for byte** — counts,
+//! latencies (to the floating-point bit), queue series, message totals —
+//! and its commit log round for round. This is the contract that makes
+//! `engine = net` interchangeable with `engine = sim` in scenario files.
+
+use adversary::{Adversary, AdversaryConfig, StrategyKind};
+use cluster::{GridMetric, LineMetric, RingMetric, ShardMetric, UniformMetric};
+use runtime::{run_net_bds, run_net_fds, NetOutcome};
+use schedulers::bds::{BdsConfig, BdsSim};
+use schedulers::fds::{FdsConfig, FdsSim};
+use schedulers::RunReport;
+use sharding_core::{AccountMap, Round, ShardId, SystemConfig, TxnId};
+use simnet::FaultPlan;
+
+fn system(shards: usize, k: usize) -> (SystemConfig, AccountMap) {
+    let sys = SystemConfig {
+        shards,
+        accounts: shards,
+        k_max: k,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::round_robin(&sys);
+    (sys, map)
+}
+
+fn adversary(seed: u64) -> AdversaryConfig {
+    AdversaryConfig {
+        rho: 0.06,
+        burstiness: 4,
+        strategy: StrategyKind::UniformRandom,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Field-by-field report equality, with floats compared by bit pattern —
+/// "byte-identical" means the CSV/JSONL renderings cannot differ either.
+fn assert_reports_identical(net: &RunReport, sim: &RunReport, label: &str) {
+    assert_eq!(net.generated, sim.generated, "{label}: generated");
+    assert_eq!(net.committed, sim.committed, "{label}: committed");
+    assert_eq!(net.aborted, sim.aborted, "{label}: aborted");
+    assert_eq!(net.pending_at_end, sim.pending_at_end, "{label}: pending");
+    assert_eq!(net.max_latency, sim.max_latency, "{label}: max_latency");
+    assert_eq!(
+        net.avg_latency.to_bits(),
+        sim.avg_latency.to_bits(),
+        "{label}: avg_latency bits ({} vs {})",
+        net.avg_latency,
+        sim.avg_latency
+    );
+    assert_eq!(
+        net.avg_queue_per_shard.to_bits(),
+        sim.avg_queue_per_shard.to_bits(),
+        "{label}: avg_queue bits"
+    );
+    assert_eq!(
+        net.max_total_pending, sim.max_total_pending,
+        "{label}: max_total_pending"
+    );
+    assert_eq!(net.epochs, sim.epochs, "{label}: epochs");
+    assert_eq!(
+        net.max_epoch_len, sim.max_epoch_len,
+        "{label}: max_epoch_len"
+    );
+    assert_eq!(net.messages, sim.messages, "{label}: messages");
+    assert_eq!(
+        net.max_message_bytes, sim.max_message_bytes,
+        "{label}: max_message_bytes"
+    );
+    assert_eq!(net.verdict, sim.verdict, "{label}: verdict");
+    assert_eq!(
+        net.faults, sim.faults,
+        "{label}: fault counters (both zero)"
+    );
+    assert_eq!(
+        net.queue_series.samples(),
+        sim.queue_series.samples(),
+        "{label}: per-round queue series"
+    );
+}
+
+/// Drives the BDS simulator by hand so the commit log is available.
+fn sim_bds(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: u64,
+    metric: &dyn ShardMetric,
+) -> (RunReport, Vec<(Round, TxnId)>) {
+    let mut sim = BdsSim::with_metric(sys, map, BdsConfig::default(), metric);
+    let mut a = Adversary::new(sys, map, *adv);
+    for r in 0..rounds {
+        sim.step(a.generate(Round(r)));
+    }
+    let log = sim.committed_log().to_vec();
+    (sim.finish(), log)
+}
+
+fn sim_fds(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: u64,
+    metric: &dyn ShardMetric,
+) -> (RunReport, Vec<(Round, TxnId)>) {
+    let mut sim = FdsSim::new(sys, map, FdsConfig::default(), metric);
+    let mut a = Adversary::new(sys, map, *adv);
+    for r in 0..rounds {
+        sim.step(a.generate(Round(r)));
+    }
+    let log = sim.committed_log().to_vec();
+    (sim.finish(), log)
+}
+
+fn net_bds(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: u64,
+    metric: &dyn ShardMetric,
+) -> NetOutcome {
+    run_net_bds(
+        sys,
+        map,
+        adv,
+        Round(rounds),
+        metric,
+        BdsConfig::default(),
+        &FaultPlan::default(),
+    )
+}
+
+#[test]
+fn bds_uniform_matches_simulator_byte_for_byte() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(17);
+    let metric = UniformMetric::new(8);
+    let net = net_bds(&sys, &map, &adv, 900, &metric);
+    let (sim, sim_log) = sim_bds(&sys, &map, &adv, 900, &metric);
+    assert!(sim.committed > 0, "workload must be non-trivial");
+    assert_reports_identical(&net.report, &sim, "bds/uniform");
+    assert_eq!(net.committed_log, sim_log, "round-for-round commit log");
+    assert!(net.chains_verified);
+}
+
+#[test]
+fn bds_matches_simulator_on_every_metric_shape() {
+    // The generalization this PR adds: the networked runtime is no
+    // longer uniform-only. Line, ring, and grid all stretch the phase
+    // gap to the diameter; the mirror must track that exactly.
+    let (sys, map) = system(8, 3);
+    let adv = adversary(23);
+    let metrics: Vec<(&str, Box<dyn ShardMetric>)> = vec![
+        ("line", Box::new(LineMetric::new(8))),
+        ("ring", Box::new(RingMetric::new(8))),
+        ("grid4x2", Box::new(GridMetric::new(4, 2))),
+    ];
+    for (name, metric) in &metrics {
+        let net = net_bds(&sys, &map, &adv, 1200, metric.as_ref());
+        let (sim, sim_log) = sim_bds(&sys, &map, &adv, 1200, metric.as_ref());
+        assert_reports_identical(&net.report, &sim, &format!("bds/{name}"));
+        assert_eq!(net.committed_log, sim_log, "bds/{name}: commit log");
+        assert!(net.chains_verified, "bds/{name}");
+    }
+}
+
+#[test]
+fn bds_matches_simulator_across_thread_counts() {
+    // "Thread count" for the networked engine is the shard count: every
+    // shard is one OS thread. The mirror must hold at every scale.
+    for shards in [2usize, 4, 8, 12] {
+        let (sys, map) = system(shards, 2.min(shards));
+        let adv = adversary(29 + shards as u64);
+        let metric = UniformMetric::new(shards);
+        let net = net_bds(&sys, &map, &adv, 600, &metric);
+        let (sim, sim_log) = sim_bds(&sys, &map, &adv, 600, &metric);
+        assert_reports_identical(&net.report, &sim, &format!("bds/{shards}shards"));
+        assert_eq!(net.committed_log, sim_log, "{shards} shards: commit log");
+    }
+}
+
+#[test]
+fn fds_matches_simulator_on_line_and_uniform() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(31);
+    let metrics: Vec<(&str, Box<dyn ShardMetric>)> = vec![
+        ("line", Box::new(LineMetric::new(8))),
+        ("uniform", Box::new(UniformMetric::new(8))),
+        ("ring", Box::new(RingMetric::new(8))),
+    ];
+    for (name, metric) in &metrics {
+        let net = run_net_fds(
+            &sys,
+            &map,
+            &adv,
+            Round(1500),
+            metric.as_ref(),
+            FdsConfig::default(),
+            &FaultPlan::default(),
+        );
+        let (sim, sim_log) = sim_fds(&sys, &map, &adv, 1500, metric.as_ref());
+        assert!(sim.committed > 0, "fds/{name}: non-trivial");
+        assert_reports_identical(&net.report, &sim, &format!("fds/{name}"));
+        assert_eq!(net.committed_log, sim_log, "fds/{name}: commit log");
+        assert!(net.chains_verified, "fds/{name}");
+    }
+}
+
+#[test]
+fn fds_mirror_holds_under_bursty_and_rescheduling_workloads() {
+    let (sys, map) = system(12, 4);
+    let adv = AdversaryConfig {
+        rho: 0.08,
+        burstiness: 10,
+        strategy: StrategyKind::SingleBurst { burst_round: 100 },
+        seed: 37,
+        ..Default::default()
+    };
+    let metric = LineMetric::new(12);
+    let net = run_net_fds(
+        &sys,
+        &map,
+        &adv,
+        Round(2000),
+        &metric,
+        FdsConfig::default(),
+        &FaultPlan::default(),
+    );
+    let (sim, _) = sim_fds(&sys, &map, &adv, 2000, &metric);
+    assert_reports_identical(&net.report, &sim, "fds/burst");
+}
+
+#[test]
+fn networked_runs_are_deterministic_with_and_without_faults() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(41);
+    let metric = UniformMetric::new(8);
+    let faulty = FaultPlan {
+        seed: 9,
+        drop_prob: 0.02,
+        dup_prob: 0.01,
+        crashes: vec![(ShardId(3), Round(200))],
+        byz_votes: 1,
+        ..FaultPlan::default()
+    };
+    for plan in [FaultPlan::default(), faulty] {
+        let a = run_net_bds(
+            &sys,
+            &map,
+            &adv,
+            Round(700),
+            &metric,
+            BdsConfig::default(),
+            &plan,
+        );
+        let b = run_net_bds(
+            &sys,
+            &map,
+            &adv,
+            Round(700),
+            &metric,
+            BdsConfig::default(),
+            &plan,
+        );
+        assert_eq!(a.report.summary(), b.report.summary());
+        assert_eq!(a.committed_log, b.committed_log);
+        assert_eq!(a.report.faults, b.report.faults);
+    }
+}
+
+#[test]
+fn crash_fault_stalls_progress_and_is_counted() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(43);
+    let metric = UniformMetric::new(8);
+    let healthy = net_bds(&sys, &map, &adv, 800, &metric);
+    let crashed = run_net_bds(
+        &sys,
+        &map,
+        &adv,
+        Round(800),
+        &metric,
+        BdsConfig::default(),
+        &FaultPlan {
+            crashes: vec![(ShardId(0), Round(100))],
+            ..FaultPlan::default()
+        },
+    );
+    assert_eq!(crashed.report.faults.crashes, 1);
+    assert!(
+        crashed.report.committed < healthy.report.committed,
+        "a crashed shard must cost commits: {} vs {}",
+        crashed.report.committed,
+        healthy.report.committed
+    );
+    assert!(
+        crashed.report.pending_at_end > healthy.report.pending_at_end,
+        "work strands as pending"
+    );
+}
+
+#[test]
+fn message_drops_strand_transactions_not_the_run() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(47);
+    let metric = UniformMetric::new(8);
+    let lossy = run_net_bds(
+        &sys,
+        &map,
+        &adv,
+        Round(900),
+        &metric,
+        BdsConfig::default(),
+        &FaultPlan {
+            seed: 3,
+            drop_prob: 0.05,
+            ..FaultPlan::default()
+        },
+    );
+    assert!(lossy.report.faults.dropped > 0, "{:?}", lossy.report.faults);
+    // The run completes and stays internally consistent; some
+    // transactions may be stranded by lost ballots.
+    assert!(lossy.chains_verified);
+    assert_eq!(
+        lossy.report.generated,
+        lossy.report.committed + lossy.report.aborted + lossy.report.pending_at_end
+    );
+}
+
+#[test]
+fn byzantine_votes_are_flipped_but_harmless() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(53);
+    let metric = UniformMetric::new(8);
+    let clean = net_bds(&sys, &map, &adv, 600, &metric);
+    let byz = run_net_bds(
+        &sys,
+        &map,
+        &adv,
+        Round(600),
+        &metric,
+        BdsConfig::default(),
+        &FaultPlan {
+            byz_votes: 1,
+            ..FaultPlan::default()
+        },
+    );
+    // n > 3f: a full Byzantine quota changes nothing but the counter.
+    assert_eq!(byz.report.faults.byz_flips, 8 * 600);
+    assert_eq!(byz.report.summary(), clean.report.summary());
+    assert_eq!(byz.committed_log, clean.committed_log);
+}
+
+#[test]
+fn fds_faults_are_deterministic_and_counted() {
+    let (sys, map) = system(8, 3);
+    let adv = adversary(59);
+    let metric = LineMetric::new(8);
+    let plan = FaultPlan {
+        seed: 5,
+        drop_prob: 0.03,
+        dup_prob: 0.02,
+        crashes: vec![(ShardId(2), Round(400))],
+        byz_votes: 1,
+        ..FaultPlan::default()
+    };
+    let a = run_net_fds(
+        &sys,
+        &map,
+        &adv,
+        Round(1200),
+        &metric,
+        FdsConfig::default(),
+        &plan,
+    );
+    let b = run_net_fds(
+        &sys,
+        &map,
+        &adv,
+        Round(1200),
+        &metric,
+        FdsConfig::default(),
+        &plan,
+    );
+    assert_eq!(a.report.summary(), b.report.summary());
+    assert_eq!(a.report.faults, b.report.faults);
+    assert_eq!(a.report.faults.crashes, 1);
+    assert!(a.report.faults.dropped > 0);
+    assert!(a.report.faults.byz_flips > 0);
+    assert!(a.chains_verified);
+}

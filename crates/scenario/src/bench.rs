@@ -27,10 +27,11 @@
 use crate::exec::run_jobs;
 use crate::parse::Scenario;
 use adversary::{Adversary, AdversaryConfig, StrategyKind};
-use cluster::LineMetric;
+use cluster::{LineMetric, UniformMetric};
 use schedulers::bds::{BdsConfig, BdsSim};
 use schedulers::fds::{FdsConfig, FdsSim};
 use sharding_core::{AccountMap, Round, SystemConfig, Transaction};
+use simnet::FaultPlan;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -164,6 +165,13 @@ struct MicroFixture {
 enum MicroScheduler {
     Bds,
     Fds,
+    /// The thread-per-shard networked engine, end to end: spawns one OS
+    /// thread per shard per iteration, so the timed region covers thread
+    /// setup, per-round barriers, and locked mailbox traffic — the costs
+    /// a runtime regression would show up in. (Workload pre-generation
+    /// happens inside the driver and is included; it is the same fixed
+    /// seed every iteration.)
+    NetBds,
 }
 
 /// The fixed microbench workload: a moderate steady rate with small
@@ -197,6 +205,18 @@ fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
     };
     let bds_batches = batches(7);
     let fds_batches = batches(11);
+    // The networked fixture runs fewer rounds (every round is a real
+    // thread barrier) on a smaller system: 16 threads is plenty to
+    // expose contention regressions without hogging a CI runner.
+    let net_rounds = if opts.quick { 600 } else { 2_000 };
+    let net_sys = SystemConfig {
+        shards: 16,
+        accounts: 16,
+        k_max: 6,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let net_map = AccountMap::random(&net_sys, 1);
     vec![
         MicroFixture {
             name: "bds_inner",
@@ -213,6 +233,14 @@ fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
             map,
             batches: fds_batches,
             scheduler: MicroScheduler::Fds,
+        },
+        MicroFixture {
+            name: "net_bds",
+            rounds: net_rounds,
+            sys: net_sys,
+            map: net_map,
+            batches: Vec::new(),
+            scheduler: MicroScheduler::NetBds,
         },
     ]
 }
@@ -243,6 +271,21 @@ impl MicroFixture {
                 let ns = start.elapsed().as_nanos() as u64;
                 let r = sim.finish();
                 (ns, r.generated, r.committed)
+            }
+            MicroScheduler::NetBds => {
+                let metric = UniformMetric::new(self.sys.shards);
+                let start = Instant::now();
+                let out = runtime::run_net_bds(
+                    &self.sys,
+                    &self.map,
+                    &micro_adversary(13),
+                    Round(self.rounds),
+                    &metric,
+                    BdsConfig::default(),
+                    &FaultPlan::default(),
+                );
+                let ns = start.elapsed().as_nanos() as u64;
+                (ns, out.report.generated, out.report.committed)
             }
         }
     }

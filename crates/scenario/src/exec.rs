@@ -9,6 +9,7 @@
 
 use crate::spec::JobSpec;
 use adversary::Adversary;
+use runtime::{run_net_bds, run_net_fds, EngineKind};
 use schedulers::baseline::{run_fcfs, FcfsConfig};
 use schedulers::bds::{run_bds_with_metric, BdsConfig};
 use schedulers::fds::{run_fds, FdsConfig, FdsSim};
@@ -31,7 +32,31 @@ pub struct JobOutcome {
     pub violations: Option<u64>,
 }
 
-/// Runs one job to completion on the calling thread.
+/// The BDS tunables a spec selects.
+fn bds_config(spec: &JobSpec) -> BdsConfig {
+    BdsConfig {
+        coloring: spec.coloring,
+        rotate_leader: spec.rotate_leader,
+        ..BdsConfig::default()
+    }
+}
+
+/// The FDS tunables a spec selects.
+fn fds_config(spec: &JobSpec) -> FdsConfig {
+    FdsConfig {
+        epoch_scale: spec.epoch_scale,
+        sublayers: spec.sublayers,
+        reschedule: spec.reschedule,
+        pipeline_window: spec.pipeline_window,
+        coloring: spec.coloring,
+        ..FdsConfig::default()
+    }
+}
+
+/// Runs one job to completion on the calling thread. Jobs with
+/// `engine = net` route through the thread-per-shard networked runtime
+/// (which spawns one thread per shard for the duration of the job);
+/// everything else runs the shared-memory simulators.
 pub fn run_job(spec: &JobSpec) -> JobOutcome {
     let sys = spec.system_config();
     let map = spec.account_map();
@@ -41,27 +66,51 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
         .build(spec.shards)
         .expect("spec validated at plan time");
     let rounds = Round(spec.rounds);
+    if spec.engine == EngineKind::Net {
+        let faults = spec.fault_plan();
+        let report = match spec.scheduler {
+            SchedulerKind::Bds => {
+                run_net_bds(
+                    &sys,
+                    &map,
+                    &adv,
+                    rounds,
+                    metric.as_ref(),
+                    bds_config(spec),
+                    &faults,
+                )
+                .report
+            }
+            SchedulerKind::Fds => {
+                run_net_fds(
+                    &sys,
+                    &map,
+                    &adv,
+                    rounds,
+                    metric.as_ref(),
+                    fds_config(spec),
+                    &faults,
+                )
+                .report
+            }
+            SchedulerKind::Fcfs => unreachable!("rejected at plan time"),
+        };
+        return JobOutcome {
+            spec: spec.clone(),
+            report,
+            violations: None,
+        };
+    }
     let (report, violations) = match spec.scheduler {
         SchedulerKind::Bds => {
-            let bcfg = BdsConfig {
-                coloring: spec.coloring,
-                rotate_leader: spec.rotate_leader,
-                ..BdsConfig::default()
-            };
+            let bcfg = bds_config(spec);
             (
                 run_bds_with_metric(&sys, &map, &adv, rounds, metric.as_ref(), bcfg),
                 None,
             )
         }
         SchedulerKind::Fds => {
-            let fcfg = FdsConfig {
-                epoch_scale: spec.epoch_scale,
-                sublayers: spec.sublayers,
-                reschedule: spec.reschedule,
-                pipeline_window: spec.pipeline_window,
-                coloring: spec.coloring,
-                ..FdsConfig::default()
-            };
+            let fcfg = fds_config(spec);
             if spec.check_order {
                 // Drive the simulator by hand so the full transaction set
                 // is available to the order checker afterwards.

@@ -260,12 +260,37 @@ impl Scenario {
                     .apply(key, value)
                     .map_err(|m| err_at(Some(self.grid[pos].line), m))?;
             }
-            let job = draft
-                .resolve(&self.name, index, overrides)
-                .map_err(|m| err_at(None, format!("job {index}: {m}")))?;
+            let job = draft.resolve(&self.name, index, overrides).map_err(|m| {
+                // Cross-field failures usually have no single line, but
+                // the PBFT-viability violation always traces to the
+                // quorum keys — point at the last one in the file.
+                let line = if m.contains("n > 3f") {
+                    self.quorum_key_line()
+                } else {
+                    None
+                };
+                err_at(line, format!("job {index}: {m}"))
+            })?;
             jobs.push(job);
         }
         Ok(jobs)
+    }
+
+    /// The last line assigning `nodes-per-shard` / `faulty-per-shard`
+    /// (base or grid), for attributing PBFT-quorum violations.
+    fn quorum_key_line(&self) -> Option<usize> {
+        let is_quorum_key = |k: &str| matches!(k, "nodes-per-shard" | "faulty-per-shard");
+        self.base
+            .iter()
+            .filter(|a| is_quorum_key(&a.key))
+            .map(|a| a.line)
+            .chain(
+                self.grid
+                    .iter()
+                    .filter(|a| is_quorum_key(&a.key))
+                    .map(|a| a.line),
+            )
+            .max()
     }
 
     /// Deterministic plan rendering: name, description, axes, and one
@@ -428,6 +453,33 @@ strategy = count-burst:auto
         let text = "name = x\ncheck-order = true\nscheduler = fds\n";
         let jobs = Scenario::parse_str(text, "<t>").unwrap().jobs().unwrap();
         assert!(jobs[0].check_order);
+    }
+
+    #[test]
+    fn pbft_inviable_n_eq_3f_rejected_at_plan_time_with_file_line() {
+        // `n = 3f` is exactly the boundary the Hellings–Sadoghi quorum
+        // model rejects; the planner must refuse it *before* any engine
+        // runs, and point at the offending quorum key's own line.
+        let text = "name = x\nshards = 4\nk = 2\nnodes-per-shard = 3\nfaulty-per-shard = 1\n";
+        let s = Scenario::parse_str(text, "<pbft>").unwrap();
+        let e = s.jobs().unwrap_err();
+        assert!(e.msg.contains("n > 3f"), "{e}");
+        assert_eq!(e.line, Some(5), "points at the last quorum key assigned");
+        assert!(e.to_string().starts_with("<pbft>:5:"), "{e}");
+
+        // The boundary is sharp: n = 3f + 1 is the smallest viable
+        // membership and must plan cleanly.
+        let ok = "name = x\nshards = 4\nk = 2\nnodes-per-shard = 4\nfaulty-per-shard = 1\n";
+        Scenario::parse_str(ok, "<pbft>").unwrap().jobs().unwrap();
+
+        // Attribution follows the key into the grid section too.
+        let grid = "name = x\nshards = 4\nk = 2\n[grid]\nnodes-per-shard = 4, 3\n";
+        let e = Scenario::parse_str(grid, "<pbft>")
+            .unwrap()
+            .jobs()
+            .unwrap_err();
+        assert!(e.msg.contains("n > 3f"), "{e}");
+        assert_eq!(e.line, Some(5), "grid axis line");
     }
 
     #[test]

@@ -9,17 +9,24 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// The CSV header row (no trailing newline).
+///
+/// Deliberately **without** an `engine` column: the engine changes how a
+/// job executes, never what it measures, and the headline guarantee is
+/// that fault-free `engine = net` reports are byte-identical to
+/// `engine = sim` — a column recording the engine would break exactly
+/// that equality. The four trailing fault columns are all zero for the
+/// simulator and for fault-free networked runs.
 pub const CSV_HEADER: &str = "scenario,job,scheduler,metric,shards,accounts,k,rounds,rho,b,\
 strategy,shape,seed,coloring,generated,committed,aborted,pending_at_end,avg_queue_per_shard,\
 avg_latency,max_latency,max_total_pending,epochs,max_epoch_len,messages,max_message_bytes,\
-verdict,order_violations";
+verdict,order_violations,crashes,dropped_msgs,duplicated_msgs,byz_flips";
 
 /// One CSV data row (no trailing newline).
 pub fn csv_row(o: &JobOutcome) -> String {
     let s = &o.spec;
     let r = &o.report;
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{}",
         s.scenario,
         s.index,
         s.scheduler,
@@ -51,6 +58,10 @@ pub fn csv_row(o: &JobOutcome) -> String {
             Some(v) => v.to_string(),
             None => String::new(),
         },
+        r.faults.crashes,
+        r.faults.dropped,
+        r.faults.duplicated,
+        r.faults.byz_flips,
     )
 }
 
@@ -113,6 +124,10 @@ pub fn json_line(o: &JobOutcome) -> String {
         format!("\"messages\":{}", r.messages),
         format!("\"max_message_bytes\":{}", r.max_message_bytes),
         format!("\"verdict\":\"{:?}\"", r.verdict),
+        format!("\"crashes\":{}", r.faults.crashes),
+        format!("\"dropped_msgs\":{}", r.faults.dropped),
+        format!("\"duplicated_msgs\":{}", r.faults.duplicated),
+        format!("\"byz_flips\":{}", r.faults.byz_flips),
     ];
     if let Some(v) = o.violations {
         fields.push(format!("\"order_violations\":{v}"));

@@ -4,9 +4,38 @@
 use adversary::{StrategyKind, WorkloadShape};
 use cluster::MetricKind;
 use conflict::ColoringStrategy;
+use runtime::EngineKind;
 use schedulers::SchedulerKind;
-use sharding_core::{bounds, AccountMap, SystemConfig};
+use sharding_core::{bounds, AccountMap, Round, ShardId, SystemConfig};
+use simnet::FaultPlan;
 use std::str::FromStr;
+
+/// Parses the `crash = S@R[; S@R...]` spelling (or `none`, so a grid
+/// axis can sweep crash schedules against a crash-free control).
+fn parse_crashes(value: &str) -> Result<Vec<(u32, u64)>, String> {
+    if value == "none" {
+        return Ok(Vec::new());
+    }
+    value
+        .split(';')
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .map(|item| {
+            let (shard, round) = item
+                .split_once('@')
+                .ok_or_else(|| format!("crash entry `{item}` is not SHARD@ROUND"))?;
+            let shard: u32 = shard
+                .trim()
+                .parse()
+                .map_err(|_| format!("crash shard `{shard}` is not an integer"))?;
+            let round: u64 = round
+                .trim()
+                .parse()
+                .map_err(|_| format!("crash round `{round}` is not an integer"))?;
+            Ok((shard, round))
+        })
+        .collect()
+}
 
 /// How accounts are placed onto shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +82,7 @@ impl FromStr for Placement {
 #[derive(Debug, Clone)]
 pub(crate) struct JobDraft {
     pub scheduler: SchedulerKind,
+    pub engine: EngineKind,
     pub metric: MetricKind,
     pub shards: usize,
     pub accounts: Option<usize>,
@@ -74,12 +104,19 @@ pub(crate) struct JobDraft {
     pub epoch_scale: u64,
     pub respect_capacity: bool,
     pub check_order: bool,
+    pub fault_seed: u64,
+    pub drop_prob: f64,
+    pub dup_prob: f64,
+    pub drop_budget: u64,
+    pub crashes: Vec<(u32, u64)>,
+    pub byz_votes: usize,
 }
 
 impl Default for JobDraft {
     fn default() -> Self {
         JobDraft {
             scheduler: SchedulerKind::Bds,
+            engine: EngineKind::Sim,
             metric: MetricKind::Uniform,
             shards: 64,
             accounts: None,
@@ -101,6 +138,12 @@ impl Default for JobDraft {
             epoch_scale: 1,
             respect_capacity: true,
             check_order: false,
+            fault_seed: 1,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            drop_budget: u64::MAX,
+            crashes: Vec::new(),
+            byz_votes: 0,
         }
     }
 }
@@ -123,6 +166,7 @@ impl JobDraft {
     pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
         match key {
             "scheduler" => self.scheduler = value.parse()?,
+            "engine" => self.engine = value.parse()?,
             "metric" => self.metric = value.parse()?,
             "shards" => self.shards = parse_num(value, "an integer")?,
             "accounts" => self.accounts = Some(parse_num(value, "an integer")?),
@@ -156,6 +200,12 @@ impl JobDraft {
             "epoch-scale" => self.epoch_scale = parse_num(value, "an integer")?,
             "respect-capacity" => self.respect_capacity = parse_bool(value)?,
             "check-order" => self.check_order = parse_bool(value)?,
+            "fault-seed" => self.fault_seed = parse_num(value, "an integer")?,
+            "drop-prob" => self.drop_prob = parse_num(value, "a number")?,
+            "dup-prob" => self.dup_prob = parse_num(value, "a number")?,
+            "drop-budget" => self.drop_budget = parse_num(value, "an integer")?,
+            "crash" => self.crashes = parse_crashes(value)?,
+            "byzantine-votes" => self.byz_votes = parse_num(value, "an integer")?,
             other => return Err(format!("unknown key `{other}`")),
         }
         Ok(())
@@ -205,11 +255,50 @@ impl JobDraft {
                 self.scheduler
             ));
         }
+        if self.nodes_per_shard <= 3 * self.faulty_per_shard {
+            // Checked here (not only in SystemConfig::validate) so the
+            // planner can attribute the failure to the offending
+            // scenario line — `jobs_with` looks for this message.
+            return Err(format!(
+                "nodes-per-shard = {} does not satisfy n > 3f for \
+                 faulty-per-shard = {} (PBFT quorum impossible)",
+                self.nodes_per_shard, self.faulty_per_shard
+            ));
+        }
+        if self.engine == EngineKind::Net && self.scheduler == SchedulerKind::Fcfs {
+            return Err(
+                "engine = net supports scheduler = bds or fds (fcfs is an idealized \
+                 centralized baseline with no networked protocol)"
+                    .into(),
+            );
+        }
+        if self.engine == EngineKind::Net && self.check_order {
+            return Err("check-order is not supported with engine = net".into());
+        }
+        let faults_requested = self.drop_prob != 0.0
+            || self.dup_prob != 0.0
+            || !self.crashes.is_empty()
+            || self.byz_votes != 0;
+        if faults_requested && self.engine != EngineKind::Net {
+            return Err(
+                "fault keys (drop-prob, dup-prob, crash, byzantine-votes) require \
+                 engine = net — the simulator never injects faults"
+                    .into(),
+            );
+        }
+        if self.byz_votes > self.faulty_per_shard {
+            return Err(format!(
+                "byzantine-votes = {} exceeds faulty-per-shard = {} — a shard \
+                 cannot flip more voters than it declares Byzantine",
+                self.byz_votes, self.faulty_per_shard
+            ));
+        }
         let spec = JobSpec {
             scenario: scenario.to_string(),
             index,
             overrides,
             scheduler: self.scheduler,
+            engine: self.engine,
             metric: self.metric,
             shards: self.shards,
             accounts,
@@ -231,9 +320,16 @@ impl JobDraft {
             epoch_scale: self.epoch_scale,
             respect_capacity: self.respect_capacity,
             check_order: self.check_order,
+            fault_seed: self.fault_seed,
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+            drop_budget: self.drop_budget,
+            crashes: self.crashes.clone(),
+            byz_votes: self.byz_votes,
         };
         spec.system_config().validate().map_err(|e| e.to_string())?;
         spec.metric.build(spec.shards)?;
+        spec.fault_plan().validate(spec.shards)?;
         Ok(spec)
     }
 }
@@ -252,6 +348,10 @@ pub struct JobSpec {
     pub overrides: Vec<(String, String)>,
     /// Which scheduler runs the job.
     pub scheduler: SchedulerKind,
+    /// Which execution engine runs it: the shared-memory simulator or
+    /// the thread-per-shard networked runtime (fault-free runs of the
+    /// two are byte-identical, test-enforced).
+    pub engine: EngineKind,
     /// Shard metric shape.
     pub metric: MetricKind,
     /// Number of shards `s`.
@@ -294,6 +394,18 @@ pub struct JobSpec {
     pub respect_capacity: bool,
     /// FDS: run the cross-shard serialization-order checker afterwards.
     pub check_order: bool,
+    /// Net engine: seed of the fault plane's ChaCha streams.
+    pub fault_seed: u64,
+    /// Net engine: per-link message-drop probability.
+    pub drop_prob: f64,
+    /// Net engine: per-link message-duplication probability.
+    pub dup_prob: f64,
+    /// Net engine: max drops per directed link (`u64::MAX` = unlimited).
+    pub drop_budget: u64,
+    /// Net engine: `(shard, round)` crash schedule.
+    pub crashes: Vec<(u32, u64)>,
+    /// Net engine: Byzantine voters per intra-shard consensus instance.
+    pub byz_votes: usize,
 }
 
 impl JobSpec {
@@ -328,6 +440,23 @@ impl JobSpec {
         }
     }
 
+    /// The fault plane this job injects (inert unless fault keys are
+    /// set; only the net engine consumes it).
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.fault_seed,
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+            drop_budget: self.drop_budget,
+            crashes: self
+                .crashes
+                .iter()
+                .map(|&(s, r)| (ShardId(s), Round(r)))
+                .collect(),
+            byz_votes: self.byz_votes,
+        }
+    }
+
     /// Compact human label: the grid overrides that produced this job,
     /// or `"(base)"` when the plan has no grid.
     pub fn label(&self) -> String {
@@ -346,9 +475,10 @@ impl JobSpec {
     /// the golden parser tests.
     pub fn plan_line(&self) -> String {
         format!(
-            "job {:>3}: {} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} [{}]",
+            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} [{}]",
             self.index,
             self.scheduler,
+            self.engine,
             self.metric,
             self.shards,
             self.k,

@@ -26,8 +26,8 @@ fn two_quick_runs_have_identical_plans_and_counts() {
     let b = run_fixtures(&opts).expect("fixtures run");
     assert_eq!(a.len(), b.len(), "fixture list is stable");
     assert!(
-        a.len() >= 5,
-        "expected both micro fixtures and the three e2e scenarios, got {}",
+        a.len() >= 6,
+        "expected the three micro fixtures and the three e2e scenarios, got {}",
         a.len()
     );
     for (x, y) in a.iter().zip(&b) {
@@ -48,8 +48,18 @@ fn fixture_filter_selects_by_substring() {
     let mut opts = quick_opts();
     opts.filter = vec!["bds".to_string()];
     let results = run_fixtures(&opts).expect("fixtures run");
+    let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["bds_inner", "net_bds"],
+        "substring `bds` selects the simulator inner loop and the networked engine"
+    );
+
+    let mut opts = quick_opts();
+    opts.filter = vec!["fds_inner".to_string()];
+    let results = run_fixtures(&opts).expect("fixtures run");
     assert_eq!(results.len(), 1);
-    assert_eq!(results[0].name, "bds_inner");
+    assert_eq!(results[0].name, "fds_inner");
 }
 
 #[test]

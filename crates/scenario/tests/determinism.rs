@@ -42,6 +42,46 @@ fn same_bytes_across_thread_counts() {
 }
 
 #[test]
+fn net_faults_same_bytes_across_thread_counts() {
+    // The networked engine spawns one OS thread per shard *inside* each
+    // job, and the fault plane injects crashes, drops, duplication, and
+    // Byzantine votes — none of which may leak scheduling
+    // nondeterminism into the report. This is the acceptance gate for
+    // `blockshard run scenarios/net_faults.scenario --threads N`.
+    let scenario = checked_in("net_faults.scenario");
+    let jobs = scenario
+        .jobs_with(&[("rounds".to_string(), "450".to_string())])
+        .unwrap();
+    assert!(jobs.len() >= 4, "the fault grid must stay wide");
+
+    let single = run_jobs(&jobs, 1, false);
+    assert!(
+        single.iter().any(|o| o.report.faults.crashes > 0),
+        "the crash schedule must fire inside the shortened run"
+    );
+    assert!(
+        single.iter().all(|o| o.report.faults.byz_flips > 0),
+        "every job flips its Byzantine quota"
+    );
+    let csv1 = report::csv_string(&single);
+    let jsonl1 = report::jsonl_string(&single);
+
+    for threads in [2, 4] {
+        let multi = run_jobs(&jobs, threads, false);
+        assert_eq!(
+            csv1,
+            report::csv_string(&multi),
+            "faulty net CSV bytes changed at {threads} worker threads"
+        );
+        assert_eq!(
+            jsonl1,
+            report::jsonl_string(&multi),
+            "faulty net JSONL bytes changed at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
 fn rerun_is_reproducible() {
     let scenario = checked_in("dos_burst.scenario");
     let jobs = scenario

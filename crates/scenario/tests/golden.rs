@@ -43,16 +43,23 @@ fn flat_scenario_matches_golden_plan() {
 ///
 /// ```sh
 /// cargo run --release --bin blockshard -- run scenarios/smoke.scenario \
-///     scenarios/dos_burst.scenario --rounds 500 --out /tmp/golden
+///     scenarios/dos_burst.scenario scenarios/net_smoke.scenario \
+///     scenarios/net_faults.scenario --rounds 500 --out /tmp/golden
 /// cp /tmp/golden/smoke.csv crates/scenario/tests/golden/smoke_rounds500.csv
 /// cp /tmp/golden/dos-burst.csv crates/scenario/tests/golden/dos_burst_rounds500.csv
+/// cp /tmp/golden/net-smoke.csv crates/scenario/tests/golden/net_smoke_rounds500.csv
+/// cp /tmp/golden/net-faults.csv crates/scenario/tests/golden/net_faults_rounds500.csv
 /// ```
 fn check_report_golden(name: &str, file: &str) {
+    check_report_golden_with(name, file, &[]);
+}
+
+fn check_report_golden_with(name: &str, file: &str, extra: &[(String, String)]) {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     let scenario = Scenario::load(&dir.join("../../scenarios").join(name)).unwrap();
-    let jobs = scenario
-        .jobs_with(&[("rounds".to_string(), "500".to_string())])
-        .unwrap();
+    let mut overrides = vec![("rounds".to_string(), "500".to_string())];
+    overrides.extend_from_slice(extra);
+    let jobs = scenario.jobs_with(&overrides).unwrap();
     let outcomes = run_jobs(&jobs, 2, false);
     let got = report::csv_string(&outcomes);
     let want = std::fs::read_to_string(dir.join("tests/golden").join(file)).unwrap();
@@ -74,6 +81,30 @@ fn dos_burst_report_matches_golden() {
 }
 
 #[test]
+fn net_smoke_report_matches_golden() {
+    check_report_golden("net_smoke.scenario", "net_smoke_rounds500.csv");
+}
+
+#[test]
+fn net_faults_report_matches_golden() {
+    check_report_golden("net_faults.scenario", "net_faults_rounds500.csv");
+}
+
+/// The tentpole guarantee, pinned on the checked-in scenario itself:
+/// running `net_smoke` (a fault-free `engine = net` grid) with the
+/// engine overridden back to `sim` must reproduce the **networked**
+/// golden byte for byte — the CSV deliberately has no engine column, so
+/// the two engines are interchangeable wherever no faults are injected.
+#[test]
+fn net_smoke_with_sim_engine_is_byte_identical() {
+    check_report_golden_with(
+        "net_smoke.scenario",
+        "net_smoke_rounds500.csv",
+        &[("engine".to_string(), "sim".to_string())],
+    );
+}
+
+#[test]
 fn every_checked_in_scenario_parses_and_plans() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
     let mut count = 0;
@@ -87,7 +118,7 @@ fn every_checked_in_scenario_parses_and_plans() {
         }
     }
     assert!(
-        count >= 14,
+        count >= 16,
         "expected the shipped scenario set, found {count}"
     );
 }

@@ -8,7 +8,13 @@
 //!    pending at the epoch start to the leader.
 //! 2. **Graph coloring** — the leader builds the conflict graph `G` of the
 //!    received transactions and colors it (greedy, ≤ Δ+1 colors), then
-//!    returns the color assignments.
+//!    broadcasts the epoch plan — per-shard color assignments plus the
+//!    color count — to every shard, since without shared memory the
+//!    epoch length must be learned from a message (epochs with nothing
+//!    to schedule broadcast nothing; shards advance after the two
+//!    coordination gaps). The networked engine in `runtime` executes the
+//!    identical plan flow, which is what makes its fault-free reports
+//!    byte-identical to this simulator's.
 //! 3. **Schedule and commit** — color class `z` runs a four-round protocol
 //!    starting at its designated offset: home shards split transactions
 //!    into subtransactions and send them to destination shards (round 1);
@@ -26,7 +32,7 @@
 //! delivery timing are measured, not assumed.
 
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
-use adversary::{Adversary, AdversaryConfig};
+use adversary::AdversaryConfig;
 use cluster::{ShardMetric, UniformMetric};
 use conflict::{color_transactions_with, ColoringScratch, ColoringStrategy};
 use sharding_core::txn::SubTransaction;
@@ -63,8 +69,18 @@ enum Msg {
     // (sizes estimated by `msg_bytes` for the O(bs) accounting)
     /// Phase 1: home shard → leader, all pending transactions.
     TxnInfo(Vec<Transaction>),
-    /// Phase 2: leader → home shard, color per transaction.
-    ColorAssign(Vec<(TxnId, u32)>),
+    /// Phase 2: leader → **every** shard, that shard's color assignments
+    /// (possibly empty) plus the epoch's color count. Broadcast because
+    /// without shared memory every shard must learn the epoch length from
+    /// a message — the networked engine depends on exactly this plan, and
+    /// the simulator sends what a deployment would send. Empty epochs
+    /// broadcast nothing; shards advance by the two-gap timeout instead.
+    ColorAssign {
+        /// `(txn, color)` for the receiving home shard.
+        assignments: Vec<(TxnId, u32)>,
+        /// Total colors in this epoch (fixes the epoch length).
+        num_colors: u32,
+    },
     /// Phase 3 round 1: home → destination, subtransaction to validate.
     SubTxn(SubTransaction),
     /// Phase 3 round 2: destination → home, commit/abort vote.
@@ -77,7 +93,7 @@ enum Msg {
 fn msg_bytes(m: &Msg) -> usize {
     match m {
         Msg::TxnInfo(txns) => 16 + txns.iter().map(|t| t.approx_bytes()).sum::<usize>(),
-        Msg::ColorAssign(assignments) => 8 + 12 * assignments.len(),
+        Msg::ColorAssign { assignments, .. } => 8 + 12 * assignments.len(),
         Msg::SubTxn(sub) => sub.approx_bytes(),
         Msg::Vote { .. } | Msg::Decision { .. } => 17,
     }
@@ -264,7 +280,17 @@ impl BdsSim {
             self.injection[t.home.index()].push(t);
         }
 
-        // 2. Epoch transitions and phase triggers for this round.
+        // 2. Message delivery and handling. Delivery runs *before* the
+        //    epoch transition so the round's state changes mirror the
+        //    networked engine, where rollover knowledge can only come
+        //    from messages delivered this round (a plan crossing the full
+        //    diameter lands exactly at the earliest possible rollover).
+        let due = self.net.deliver_due(now);
+        for env in due {
+            self.handle(env.from, env.to, env.payload);
+        }
+
+        // 3. Epoch transitions and phase triggers for this round.
         if self.next_epoch_at == Some(now) {
             let len = now.since(self.epoch_start);
             self.max_epoch_len = self.max_epoch_len.max(len);
@@ -289,12 +315,6 @@ impl BdsSim {
         }
         if now == self.epoch_start {
             self.phase1_send_pending();
-        }
-
-        // 3. Message delivery and handling.
-        let due = self.net.deliver_due(now);
-        for env in due {
-            self.handle(env.from, env.to, env.payload);
         }
 
         // 4. Leader colors once all phase-1 messages are in.
@@ -351,8 +371,9 @@ impl BdsSim {
         }
     }
 
-    /// Phase 2 (at the leader): build the conflict graph, color it, send
-    /// assignments home, and fix the epoch length.
+    /// Phase 2 (at the leader): build the conflict graph, color it,
+    /// broadcast the plan (per-shard assignments + color count) to every
+    /// shard, and fix the epoch length.
     fn phase2_color(&mut self) {
         let txns = std::mem::take(&mut self.leader_buffer);
         let num_colors = if txns.is_empty() {
@@ -361,26 +382,30 @@ impl BdsSim {
             let coloring =
                 color_transactions_with(self.bcfg.coloring, &txns, &mut self.coloring_scratch);
             // Group assignments by home shard (dense per-shard lists,
-            // reused across epochs) and send them back in shard order —
-            // the same order the former per-home map iterated in.
+            // reused across epochs).
             for (v, t) in txns.iter().enumerate() {
                 self.assign_scratch[t.home.index()].push((t.id, coloring.color(v)));
             }
+            coloring.num_colors()
+        };
+        if num_colors > 0 {
+            // Broadcast in shard order; shards with no scheduled
+            // transactions still need the color count to know when the
+            // epoch ends.
             let leader = self.leader();
             for h in 0..self.sys.shards {
-                if self.assign_scratch[h].is_empty() {
-                    continue;
-                }
                 let assignments = std::mem::take(&mut self.assign_scratch[h]);
                 self.net.send(
                     leader,
                     ShardId(h as u32),
                     self.now,
-                    Msg::ColorAssign(assignments),
+                    Msg::ColorAssign {
+                        assignments,
+                        num_colors,
+                    },
                 );
             }
-            coloring.num_colors()
-        };
+        }
         // Epoch length: 2 phase-gaps + 4 phase-gaps per color (paper:
         // 2 + 4(Δ+1) rounds in the uniform model). An empty epoch is just
         // the two coordination gaps.
@@ -431,7 +456,11 @@ impl BdsSim {
                 debug_assert_eq!(to, self.leader());
                 self.leader_buffer.extend(txns);
             }
-            Msg::ColorAssign(assignments) => {
+            Msg::ColorAssign {
+                assignments,
+                num_colors,
+            } => {
+                debug_assert!(num_colors > 0, "empty epochs broadcast no plan");
                 let h = to.index();
                 for (txn, color) in assignments {
                     if let Some(e) = self.epoch_txns[h].get_mut(&txn) {
@@ -543,18 +572,14 @@ pub fn run_bds_with_metric(
     metric: &dyn ShardMetric,
     bcfg: BdsConfig,
 ) -> RunReport {
-    let mut sim = BdsSim::with_metric(sys, map, bcfg, metric);
-    let mut adversary = Adversary::new(sys, map, *adv);
-    for r in 0..rounds.raw() {
-        sim.step(adversary.generate(Round(r)));
-    }
-    sim.finish()
+    let sim = BdsSim::with_metric(sys, map, bcfg, metric);
+    crate::driver::drive(sim, sys, map, adv, rounds)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adversary::StrategyKind;
+    use adversary::{Adversary, StrategyKind};
     use sharding_core::stats::StabilityVerdict;
 
     fn small_sys() -> (SystemConfig, AccountMap) {

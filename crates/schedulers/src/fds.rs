@@ -47,7 +47,7 @@
 //! per-period accounting is preserved.
 
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
-use adversary::{Adversary, AdversaryConfig};
+use adversary::AdversaryConfig;
 use cluster::{ClusterId, Hierarchy, LineMetric, ShardMetric};
 use conflict::{color_transactions_with, Coloring, ColoringScratch, ColoringStrategy};
 use sharding_core::txn::SubTransaction;
@@ -664,12 +664,8 @@ pub fn run_fds(
     metric: &dyn ShardMetric,
     fcfg: FdsConfig,
 ) -> RunReport {
-    let mut sim = FdsSim::new(sys, map, fcfg, metric);
-    let mut adversary = Adversary::new(sys, map, *adv);
-    for r in 0..rounds.raw() {
-        sim.step(adversary.generate(Round(r)));
-    }
-    sim.finish()
+    let sim = FdsSim::new(sys, map, fcfg, metric);
+    crate::driver::drive(sim, sys, map, adv, rounds)
 }
 
 /// Runs FDS on the paper's Figure 3 topology: shards on a line.
@@ -692,7 +688,7 @@ pub fn run_fds_line(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adversary::StrategyKind;
+    use adversary::{Adversary, StrategyKind};
     use sharding_core::stats::StabilityVerdict;
 
     fn small_sys() -> (SystemConfig, AccountMap) {

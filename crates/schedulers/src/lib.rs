@@ -23,12 +23,14 @@
 
 pub mod baseline;
 pub mod bds;
+pub mod driver;
 pub mod fds;
 pub mod history;
 pub mod metrics;
 
 pub use baseline::{run_fcfs, FcfsConfig};
 pub use bds::{run_bds, run_bds_with_metric, BdsConfig, BdsSim};
+pub use driver::{drive, RoundDriver};
 pub use fds::{run_fds, FdsConfig, FdsSim};
 pub use history::{check_cross_shard_order, OrderViolation};
 pub use metrics::{RunReport, SchedulerKind};

@@ -5,6 +5,7 @@ use sharding_core::stats::{
     Histogram, RunningStats, StabilityDetector, StabilityVerdict, TimeSeries,
 };
 use sharding_core::Round;
+use simnet::FaultCounters;
 
 /// Which scheduler produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +81,10 @@ pub struct RunReport {
     /// Largest single message payload in (estimated) bytes; the paper
     /// upper-bounds message size by `O(bs)`.
     pub max_message_bytes: u64,
+    /// Faults injected during the run (all zeros for the simulator and
+    /// for fault-free networked runs — the byte-identical guarantee
+    /// depends on that). Set post-`finish` by the networked engine.
+    pub faults: FaultCounters,
     /// Stability verdict from the queue-length series.
     pub verdict: StabilityVerdict,
     /// Per-round total pending series (for plotting / later analysis).
@@ -217,6 +222,7 @@ impl MetricsCollector {
             max_epoch_len,
             messages,
             max_message_bytes,
+            faults: FaultCounters::default(),
             verdict,
             queue_series: self.queue_series,
             latency_hist: self.latency_hist,

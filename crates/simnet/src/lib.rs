@@ -18,6 +18,11 @@
 //! * [`ledger`] — account balances per shard and commit application,
 //!   including condition checking (the "condition + action" split of the
 //!   paper's subtransactions).
+//! * [`faults`] — the seeded fault plane for networked executions: shard
+//!   crashes pinned to rounds, per-link drop/duplication streams, and
+//!   Byzantine vote flipping for the per-round PBFT instances. Every
+//!   decision is deterministic in the plan's seed, independent of thread
+//!   interleaving.
 //!
 //! The [`network`] layer's counters (messages sent, largest payload)
 //! surface in every `RunReport` and therefore in the `messages` /
@@ -31,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod blockchain;
+pub mod faults;
 pub mod ledger;
 pub mod network;
 pub mod pbft;
 
 pub use blockchain::{Block, LocalChain};
+pub use faults::{FaultCounters, FaultDecision, FaultPlan, LinkFaults};
 pub use ledger::ShardLedger;
 pub use network::{Envelope, Network};
 pub use pbft::{ClusterSender, ConsensusOutcome, PbftShard, Vote};

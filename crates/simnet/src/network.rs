@@ -5,8 +5,17 @@
 //! uniform model every distance is 1, matching "any shard can send or
 //! receive information within one round". Delivery within a round is
 //! deterministic: messages are handed out sorted by (destination, sender,
-//! sequence), so simulations are bit-reproducible.
+//! sequence), so simulations are bit-reproducible. Sequence numbers are
+//! **per sender** — the tie-break depends only on each sender's own send
+//! order, never on how sends from different shards interleave, which is
+//! what lets the thread-per-shard runtime reproduce the simulator's
+//! delivery order exactly.
+//!
+//! An optional [`FaultPlan`] makes the network lossy: each directed link
+//! consumes one deterministic ChaCha draw per message to decide
+//! deliver/drop/duplicate (see [`crate::faults`]).
 
+use crate::faults::{FaultDecision, FaultPlan, LinkFaults};
 use cluster::ShardMetric;
 use sharding_core::{Round, ShardId};
 use std::collections::BTreeMap;
@@ -22,7 +31,8 @@ pub struct Envelope<P> {
     pub sent: Round,
     /// Round at which the message is delivered.
     pub deliver_at: Round,
-    /// Monotone per-network sequence number (tie-break for determinism).
+    /// Monotone per-*sender* sequence number (tie-break for determinism;
+    /// unique per `(from, seq)` pair).
     pub seq: u64,
     /// Scheduler-defined payload.
     pub payload: P,
@@ -39,7 +49,8 @@ pub struct Network<P> {
     /// Distance matrix snapshot.
     dist: Vec<u64>,
     shards: usize,
-    seq: u64,
+    /// Per-sender sequence counters.
+    seq: Vec<u64>,
     sent_count: u64,
     delivered_count: u64,
     /// Optional payload sizer for byte accounting (the paper bounds the
@@ -47,6 +58,12 @@ pub struct Network<P> {
     sizer: Option<fn(&P) -> usize>,
     bytes_sent: u64,
     max_message_bytes: u64,
+    /// Optional fault plane: per-directed-link deterministic streams,
+    /// created lazily on first use of each link.
+    faults: Option<FaultPlan>,
+    links: BTreeMap<(u32, u32), LinkFaults>,
+    dropped_count: u64,
+    duplicated_count: u64,
 }
 
 impl<P> Network<P> {
@@ -63,18 +80,40 @@ impl<P> Network<P> {
             in_flight: BTreeMap::new(),
             dist,
             shards: s,
-            seq: 0,
+            seq: vec![0; s],
             sent_count: 0,
             delivered_count: 0,
             sizer: None,
             bytes_sent: 0,
             max_message_bytes: 0,
+            faults: None,
+            links: BTreeMap::new(),
+            dropped_count: 0,
+            duplicated_count: 0,
         }
     }
 
     /// Enables byte accounting with an estimator for payload sizes.
     pub fn set_sizer(&mut self, sizer: fn(&P) -> usize) {
         self.sizer = Some(sizer);
+    }
+
+    /// Enables the fault plane: subsequent sends consult the plan's
+    /// per-link streams. Inert plans are ignored.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        if !plan.is_inert() {
+            self.faults = Some(plan);
+        }
+    }
+
+    /// Messages dropped by the fault plane so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped_count
+    }
+
+    /// Messages duplicated by the fault plane so far.
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated_count
     }
 
     /// Total payload bytes sent (0 when no sizer is set).
@@ -98,25 +137,63 @@ impl<P> Network<P> {
     /// A message to self is delivered next round (the shard still needs a
     /// consensus round to agree on it); a message across distance `d`
     /// arrives at `now + d`.
-    pub fn send(&mut self, from: ShardId, to: ShardId, now: Round, payload: P) {
+    pub fn send(&mut self, from: ShardId, to: ShardId, now: Round, payload: P)
+    where
+        P: Clone,
+    {
         if let Some(sizer) = self.sizer {
             let bytes = sizer(&payload) as u64;
             self.bytes_sent += bytes;
             self.max_message_bytes = self.max_message_bytes.max(bytes);
         }
+        self.sent_count += 1;
+        let decision = match &self.faults {
+            None => FaultDecision::Deliver,
+            Some(plan) => self
+                .links
+                .entry((from.raw(), to.raw()))
+                .or_insert_with(|| plan.link(from, to))
+                .decide(),
+        };
+        if decision == FaultDecision::Drop {
+            // The sender paid for the message (it counts as sent) but it
+            // never enters the delay queue. Its seq is still consumed so
+            // the surviving stream matches what the sender emitted.
+            self.seq[from.index()] += 1;
+            self.dropped_count += 1;
+            return;
+        }
+        let copies = if decision == FaultDecision::Duplicate {
+            self.duplicated_count += 1;
+            2
+        } else {
+            1
+        };
         let d = self.distance(from, to).max(1);
         let deliver_at = now.plus(d);
-        let env = Envelope {
+        let slot = self.in_flight.entry(deliver_at).or_default();
+        // Clone only the extra fault-plane duplicates; the common
+        // single-copy payload is moved.
+        for _ in 1..copies {
+            slot.push(Envelope {
+                from,
+                to,
+                sent: now,
+                deliver_at,
+                seq: self.seq[from.index()],
+                payload: payload.clone(),
+            });
+            self.seq[from.index()] += 1;
+        }
+        slot.push(Envelope {
             from,
             to,
             sent: now,
             deliver_at,
-            seq: self.seq,
+            seq: self.seq[from.index()],
             payload,
-        };
-        self.seq += 1;
-        self.sent_count += 1;
-        self.in_flight.entry(deliver_at).or_default().push(env);
+        });
+        self.seq[from.index()] += 1;
     }
 
     /// Broadcasts `payload` from `from` to every shard in `dests`.
@@ -236,6 +313,63 @@ mod tests {
         n.send(ShardId(1), ShardId(2), Round(0), vec![0; 5]);
         assert_eq!(n.bytes_sent(), 315);
         assert_eq!(n.max_message_bytes(), 300);
+    }
+
+    #[test]
+    fn fault_plane_drops_and_duplicates_deterministically() {
+        use crate::faults::FaultPlan;
+        let run = || {
+            let m = UniformMetric::new(3);
+            let mut n: Network<u32> = Network::new(&m);
+            n.set_faults(FaultPlan {
+                drop_prob: 0.3,
+                dup_prob: 0.2,
+                ..FaultPlan::default()
+            });
+            for i in 0..200 {
+                n.send(ShardId(0), ShardId(1), Round(i), i as u32);
+            }
+            let delivered: Vec<u32> = (1..=201)
+                .flat_map(|r| n.deliver_due(Round(r)))
+                .map(|e| e.payload)
+                .collect();
+            (
+                delivered,
+                n.sent_count(),
+                n.dropped_count(),
+                n.duplicated_count(),
+            )
+        };
+        let (delivered, sent, dropped, duplicated) = run();
+        assert_eq!(sent, 200, "sent counts attempts, not survivors");
+        assert!(dropped > 0 && duplicated > 0, "{dropped} / {duplicated}");
+        assert_eq!(delivered.len() as u64, sent - dropped + duplicated);
+        assert_eq!(run().0, delivered, "fault pattern is deterministic");
+    }
+
+    #[test]
+    fn inert_fault_plan_is_ignored() {
+        let m = UniformMetric::new(2);
+        let mut n: Network<()> = Network::new(&m);
+        n.set_faults(crate::faults::FaultPlan::default());
+        n.send(ShardId(0), ShardId(1), Round(0), ());
+        assert_eq!(n.deliver_due(Round(1)).len(), 1);
+        assert_eq!(n.dropped_count(), 0);
+    }
+
+    #[test]
+    fn seq_is_per_sender() {
+        let m = UniformMetric::new(3);
+        let mut n: Network<u32> = Network::new(&m);
+        n.send(ShardId(0), ShardId(2), Round(0), 1);
+        n.send(ShardId(1), ShardId(2), Round(0), 2);
+        n.send(ShardId(0), ShardId(2), Round(0), 3);
+        let due = n.deliver_due(Round(1));
+        let key: Vec<(u32, u64, u32)> = due
+            .iter()
+            .map(|e| (e.from.raw(), e.seq, e.payload))
+            .collect();
+        assert_eq!(key, vec![(0, 0, 1), (0, 1, 3), (1, 0, 2)]);
     }
 
     #[test]

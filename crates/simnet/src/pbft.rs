@@ -120,6 +120,21 @@ impl PbftShard {
         }
         self.decide(proposal, &votes)
     }
+
+    /// Consensus with `flips` Byzantine voters equivocating for the
+    /// bit-flipped digest and everyone else honest. `flips` is clamped to
+    /// the declared bound `f` — the membership was constructed under
+    /// `n > 3f`, so a clamped flip count can never block or hijack the
+    /// decision. This is the entry point the networked engine's fault
+    /// plane drives each round.
+    pub fn decide_with_byzantine(&self, proposal: u64, flips: usize) -> ConsensusOutcome {
+        let flips = flips.min(self.faulty);
+        let mut votes = vec![Vote::For(proposal); self.nodes];
+        for v in votes.iter_mut().take(flips) {
+            *v = Vote::For(!proposal);
+        }
+        self.decide(proposal, &votes)
+    }
 }
 
 /// The cluster-sending rule between two shards: choose `f₁+1` senders in
@@ -229,6 +244,49 @@ mod tests {
             *v = Vote::For(666);
         }
         assert_eq!(p.decide(1, &votes), ConsensusOutcome::Decided(1));
+    }
+
+    /// The fault-injection guarantee the scenario engine's `byzantine-
+    /// votes` key rides on: with the full declared `f` voters flipped,
+    /// every viable `(n, f)` membership still decides the proposal.
+    #[test]
+    fn full_byzantine_quota_never_blocks_viable_memberships() {
+        for (n, f) in [(4, 1), (5, 1), (7, 2), (10, 3), (13, 4), (16, 5)] {
+            let p = PbftShard::new(ShardId(0), n, f).unwrap();
+            for flips in 0..=f {
+                assert_eq!(
+                    p.decide_with_byzantine(0xD1CE, flips),
+                    ConsensusOutcome::Decided(0xD1CE),
+                    "n={n} f={f} flips={flips}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_flips_clamp_to_declared_bound() {
+        let p = PbftShard::new(ShardId(0), 4, 1).unwrap();
+        // Requesting more flips than f must not break the decision: the
+        // membership only ever contains f Byzantine nodes.
+        assert_eq!(
+            p.decide_with_byzantine(7, 100),
+            ConsensusOutcome::Decided(7)
+        );
+    }
+
+    /// `n = 3f` is exactly the boundary the model rejects; every such
+    /// membership must fail construction (the scenario engine surfaces
+    /// this as a plan-time error).
+    #[test]
+    fn n_equals_3f_is_rejected_for_all_small_f() {
+        for f in 1..=8 {
+            assert!(
+                PbftShard::new(ShardId(0), 3 * f, f).is_err(),
+                "n=3f={} must be rejected",
+                3 * f
+            );
+            assert!(PbftShard::new(ShardId(0), 3 * f + 1, f).is_ok());
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Property tests for [`simnet::Network`] and the fault plane — the
+//! invariants the networked runtime's determinism guarantee rests on:
+//!
+//! 1. **Metric delays are exact**: every delivered envelope satisfies
+//!    `deliver_at = sent + max(1, d(from, to))`, for arbitrary send
+//!    schedules over an arbitrary metric shape.
+//! 2. **Hand-out order is interleaving-independent**: per-sender
+//!    sequence numbers pin the within-round delivery order, so any
+//!    cross-sender interleaving of the same per-sender send streams
+//!    yields byte-identical deliveries — the property that lets one OS
+//!    thread per shard reproduce the single-threaded simulator exactly.
+//! 3. **Fault-plane drops are budgeted**: no directed link ever drops
+//!    more than `drop_budget` messages, however many are sent.
+
+use cluster::{GridMetric, LineMetric, RingMetric, ShardMetric, UniformMetric};
+use proptest::prelude::*;
+use sharding_core::{Round, ShardId};
+use simnet::{Envelope, FaultPlan, Network};
+
+/// One abstract send instruction: `(from, to, send round)`, all reduced
+/// modulo the system size so arbitrary `u32`/`u64` inputs stay valid.
+type Send = (u32, u32, u64);
+
+/// Builds one of the four metric shapes over exactly `shards` shards.
+fn build_metric(choice: u8, shards: usize) -> Box<dyn ShardMetric> {
+    match choice % 4 {
+        0 => Box::new(UniformMetric::new(shards)),
+        1 => Box::new(LineMetric::new(shards)),
+        2 => Box::new(RingMetric::new(shards)),
+        // Grid needs a factorization; w=2 always divides the even shard
+        // counts this harness generates for choice 3.
+        _ => Box::new(GridMetric::new(2, shards / 2)),
+    }
+}
+
+/// Applies `sends` and drains the network round by round until idle,
+/// returning every delivered envelope in hand-out order.
+fn drain(net: &mut Network<u64>, sends: &[(ShardId, ShardId, Round)]) -> Vec<Envelope<u64>> {
+    for (i, &(from, to, now)) in sends.iter().enumerate() {
+        net.send(from, to, now, i as u64);
+    }
+    let mut delivered = Vec::new();
+    while let Some(round) = net.next_delivery() {
+        delivered.extend(net.deliver_due(round));
+    }
+    delivered
+}
+
+fn resolve(sends: Vec<Send>, shards: usize) -> Vec<(ShardId, ShardId, Round)> {
+    sends
+        .into_iter()
+        .map(|(f, t, r)| {
+            (
+                ShardId(f % shards as u32),
+                ShardId(t % shards as u32),
+                Round(r % 1_000),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: `deliver_at = sent + max(1, distance)` for every
+    /// envelope, on every metric shape, and nothing is lost or created
+    /// without a fault plane.
+    #[test]
+    fn delivery_respects_metric_distance(
+        metric_choice in proptest::any::<u8>(),
+        shards in 1usize..=8,
+        sends in proptest::collection::vec((proptest::any::<u32>(), proptest::any::<u32>(), proptest::any::<u64>()), 0..80),
+    ) {
+        let shards = shards * 2; // even, so grid:2xH always factors
+        let metric = build_metric(metric_choice, shards);
+        let mut net: Network<u64> = Network::new(metric.as_ref());
+        let sends = resolve(sends, shards);
+        let delivered = drain(&mut net, &sends);
+
+        prop_assert_eq!(delivered.len(), sends.len(), "fault-free networks lose nothing");
+        prop_assert_eq!(net.pending(), 0);
+        for env in &delivered {
+            let d = metric.distance(env.from, env.to).max(1);
+            prop_assert_eq!(
+                env.deliver_at,
+                env.sent.plus(d),
+                "{} -> {} sent at {} (distance {})",
+                env.from, env.to, env.sent, d
+            );
+        }
+    }
+
+    /// Invariant 2: reordering sends **across** senders (while keeping
+    /// each sender's own stream in order, which is what concurrent shard
+    /// threads guarantee) changes nothing about what is delivered, when,
+    /// or in which order.
+    #[test]
+    fn handout_order_is_independent_of_cross_sender_interleaving(
+        metric_choice in proptest::any::<u8>(),
+        shards in 1usize..=8,
+        sends in proptest::collection::vec((proptest::any::<u32>(), proptest::any::<u32>(), Just(0u64)), 0..80),
+    ) {
+        let shards = shards * 2;
+        let metric = build_metric(metric_choice, shards);
+        let sends = resolve(sends, shards);
+
+        // The adversarial interleaving: stable-sort by sender, which
+        // maximally clusters each sender's stream while preserving its
+        // internal order — exactly the reordering freedom real threads
+        // have relative to the simulator's program order.
+        let mut reordered = sends.clone();
+        reordered.sort_by_key(|(from, _, _)| *from);
+
+        let schedule = |order: &[(ShardId, ShardId, Round)]| -> Vec<(Round, ShardId, ShardId, u64)> {
+            let mut net: Network<u64> = Network::new(metric.as_ref());
+            for &(from, to, now) in order {
+                net.send(from, to, now, 0);
+            }
+            let mut out = Vec::new();
+            while let Some(round) = net.next_delivery() {
+                for env in net.deliver_due(round) {
+                    out.push((env.deliver_at, env.to, env.from, env.seq));
+                }
+            }
+            out
+        };
+        prop_assert_eq!(schedule(&sends), schedule(&reordered),
+            "delivery schedule must depend only on per-sender streams");
+    }
+
+    /// Invariant 3: a directed link never drops more than its budget,
+    /// for arbitrary probabilities, budgets, and traffic volumes.
+    #[test]
+    fn drops_never_exceed_the_configured_budget(
+        seed in proptest::any::<u64>(),
+        drop_prob in 0.0f64..0.95,
+        budget in 0u64..6,
+        messages in 1usize..400,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            drop_prob,
+            drop_budget: budget,
+            ..FaultPlan::default()
+        };
+        // Per-link stream, checked directly.
+        let mut link = plan.link(ShardId(0), ShardId(1));
+        for _ in 0..messages {
+            link.decide();
+        }
+        prop_assert!(link.dropped() <= budget, "{} > {budget}", link.dropped());
+
+        // And end to end through a single-link network: the global drop
+        // counter equals the link's and respects the same bound.
+        let metric = UniformMetric::new(2);
+        let mut net: Network<u64> = Network::new(&metric);
+        net.set_faults(plan);
+        for i in 0..messages {
+            net.send(ShardId(0), ShardId(1), Round(i as u64), i as u64);
+        }
+        prop_assert!(net.dropped_count() <= budget);
+        let mut delivered = 0u64;
+        while let Some(round) = net.next_delivery() {
+            delivered += net.deliver_due(round).len() as u64;
+        }
+        prop_assert_eq!(
+            delivered,
+            net.sent_count() - net.dropped_count() + net.duplicated_count()
+        );
+    }
+}

@@ -178,10 +178,17 @@ fn networked_runtime_agrees_with_simulator_on_paper_shape() {
         seed: 41,
         ..Default::default()
     };
-    let net = blockshard::runtime::run_networked_bds(&sys, &map, &adv, Round(700));
+    let net = blockshard::runtime::run_net_bds(
+        &sys,
+        &map,
+        &adv,
+        Round(700),
+        &UniformMetric::new(sys.shards),
+        Default::default(),
+        &blockshard::simnet::FaultPlan::default(),
+    );
     let sim = blockshard::schedulers::bds::run_bds(&sys, &map, &adv, Round(700));
-    assert_eq!(net.committed, sim.committed);
-    assert_eq!(net.max_latency, sim.max_latency);
+    assert_eq!(net.report.summary(), sim.summary(), "full report parity");
     assert!(net.chains_verified);
 }
 
