@@ -1,8 +1,9 @@
 //! The execution-engine selector surfaced to scenario files.
 //!
 //! `engine = sim` runs a job through the shared-memory simulators in
-//! `schedulers`; `engine = net` runs the identical protocol on one OS
-//! thread per shard through this crate's networked drivers. The two are
+//! `schedulers`; `engine = net` runs the identical protocol concurrently
+//! through this crate's networked drivers (lock-free message rings, the
+//! cooperative round executor). The two are
 //! interchangeable by construction — on fault-free runs the reports are
 //! byte-identical — which is why the spelling lives next to the engine
 //! rather than in the scenario crate.
@@ -15,7 +16,7 @@ pub enum EngineKind {
     /// The shared-memory round simulator (`schedulers::{BdsSim, FdsSim}`).
     #[default]
     Sim,
-    /// The thread-per-shard networked runtime (this crate).
+    /// The concurrent networked runtime (this crate).
     Net,
 }
 

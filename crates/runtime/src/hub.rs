@@ -1,5 +1,5 @@
 //! The threaded message plane: `simnet::Network` semantics for one OS
-//! thread per shard.
+//! thread per shard, rebuilt lock-free.
 //!
 //! A [`NetHub`] is the concurrent analogue of the simulator's delay-queue
 //! network: a message sent at round `r` over distance `d` is delivered at
@@ -8,19 +8,35 @@
 //! uses (its global sort key is `(to, from, seq)` with per-sender `seq`,
 //! and a drain is per-destination already). Because sequence numbers are
 //! per sender and fault decisions are per directed link, nothing about
-//! delivery depends on how the shard threads interleave; the per-round
-//! barrier in the drivers only has to guarantee that round `r`'s sends
-//! are enqueued before round `r + 1` is drained.
+//! delivery depends on how the shard threads interleave; the round gate
+//! in the drivers only has to guarantee that round `r - 1`'s sends are
+//! enqueued before round `r` is drained.
 //!
-//! Sends go through a per-thread [`ShardPort`], which owns the sender's
-//! sequence counter and its outgoing [`LinkFaults`] streams; the hub
-//! itself only holds the locked delivery queues and the shared counters
-//! (messages, payload bytes, drops, duplicates).
+//! Unlike its locked predecessor (a mutex + `BTreeMap` per destination,
+//! taken once per *message*), the hub holds one lock-free SPSC
+//! [ring] per **directed link**: the sender's [`ShardPort`]
+//! owns the `s` producer endpoints of its row, the receiver's
+//! [`NetInbox`] owns the `s` consumer endpoints of its column, and a
+//! whole round is handed off batched — the inbox pops every incoming
+//! ring once per round, parks early arrivals in a ring-of-rounds wheel
+//! indexed by `deliver_at mod wheel size`, and sorts the due bucket by
+//! `(sender, seq)`. No mutex is on the per-message path; the only locks
+//! left are the rings' spill queues (touched when a ring overflows,
+//! never required for correctness) and the one-time endpoint hand-out.
+//!
+//! Counter accounting is sender-local for the same reason: each port
+//! tallies `sent` / bytes / drops / duplicates in plain integers and
+//! flushes them into the hub's shared atomics on drop (or an explicit
+//! [`ShardPort::flush`]), so the hot path performs no shared
+//! read-modify-write either. Hub-level counts are therefore complete
+//! once the shard threads have finished — exactly when the drivers read
+//! them.
 
+use crate::ring::{self, RingConsumer, RingProducer};
 use cluster::ShardMetric;
 use parking_lot::Mutex;
 use sharding_core::ShardId;
-use simnet::faults::{FaultDecision, FaultPlan, LinkFaults};
+use simnet::faults::{FaultDecision, FaultPlan, LinkBank};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,44 +52,145 @@ pub struct NetEnvelope<P> {
     pub payload: P,
 }
 
+/// What travels through a link ring: the envelope plus its delivery
+/// round, which the inbox consumes when bucketing into the wheel.
+struct Queued<P> {
+    deliver_at: u64,
+    env: NetEnvelope<P>,
+}
+
+/// Why a [`NetHub`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HubError {
+    /// The metric declares zero shards — there is no one to deliver to,
+    /// and every later index computation would be out of bounds.
+    NoShards,
+}
+
+impl std::fmt::Display for HubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubError::NoShards => write!(f, "cannot build a message hub over zero shards"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {}
+
+/// The sender-side endpoints of one shard's outgoing links, handed out
+/// once to its [`ShardPort`].
+struct PortHalf<P> {
+    /// Producer of the `(from, to)` ring, indexed by `to`.
+    rings: Vec<RingProducer<Queued<P>>>,
+}
+
+/// The receiver-side endpoints of one shard's incoming links, handed out
+/// once to its [`NetInbox`].
+struct InboxHalf<P> {
+    /// Consumer of the `(from, to)` ring, indexed by `from`.
+    rings: Vec<RingConsumer<Queued<P>>>,
+}
+
 /// The shared delivery plane. One instance per run, referenced by every
-/// shard thread.
+/// shard thread; see the module docs for the ring layout.
 pub struct NetHub<P> {
-    /// Per-destination delay queues keyed by delivery round.
-    boxes: Vec<Mutex<BTreeMap<u64, Vec<NetEnvelope<P>>>>>,
     /// Distance matrix snapshot (row-major).
     dist: Vec<u64>,
     shards: usize,
     sizer: fn(&P) -> usize,
+    /// Wheel size for the inboxes: smallest power of two that covers the
+    /// live delivery window `[round, round + max_delay]`.
+    wheel_len: u64,
+    /// Un-taken sender halves, indexed by shard; `ShardPort::new` takes
+    /// each exactly once (the SPSC contract, enforced at runtime).
+    ports: Vec<Mutex<Option<PortHalf<P>>>>,
+    /// Un-taken receiver halves, ditto for `NetInbox::new`.
+    inboxes: Vec<Mutex<Option<InboxHalf<P>>>>,
     sent: AtomicU64,
     bytes_sent: AtomicU64,
     max_message_bytes: AtomicU64,
     dropped: AtomicU64,
     duplicated: AtomicU64,
+    spilled: AtomicU64,
+}
+
+/// Default per-link ring capacity: scaled down as the link count grows
+/// quadratically, so the slot arrays stay a few megabytes even at 256
+/// shards. Overflow is handled by the spill path, so this is purely a
+/// throughput knob.
+fn default_capacity(shards: usize) -> usize {
+    (2048 / shards.max(1)).clamp(4, 128)
 }
 
 impl<P> NetHub<P> {
     /// Builds the hub over `metric` with a payload sizer (the same
-    /// estimator the simulator uses, so `max_message_bytes` agrees).
-    pub fn new(metric: &dyn ShardMetric, sizer: fn(&P) -> usize) -> Self {
+    /// estimator the simulator uses, so `max_message_bytes` agrees) and
+    /// the default per-link ring capacity.
+    pub fn new(metric: &dyn ShardMetric, sizer: fn(&P) -> usize) -> Result<Self, HubError> {
+        Self::with_capacity(metric, sizer, default_capacity(metric.shards()))
+    }
+
+    /// Like [`NetHub::new`] with an explicit per-link ring capacity
+    /// (rounded up to a power of two, minimum 1). Tiny capacities force
+    /// the spill path and are exercised by the stress tests; correctness
+    /// is capacity-independent.
+    pub fn with_capacity(
+        metric: &dyn ShardMetric,
+        sizer: fn(&P) -> usize,
+        capacity: usize,
+    ) -> Result<Self, HubError> {
         let s = metric.shards();
+        if s == 0 {
+            return Err(HubError::NoShards);
+        }
         let mut dist = vec![0u64; s * s];
         for a in 0..s {
             for b in 0..s {
                 dist[a * s + b] = metric.distance(ShardId(a as u32), ShardId(b as u32));
             }
         }
-        NetHub {
-            boxes: (0..s).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        let max_delay = dist.iter().copied().max().unwrap_or(1).max(1);
+        // While a consumer drains round R, the gate bounds every producer
+        // to rounds <= R, so live deliver_at values span [R, R + max_delay]
+        // — max_delay + 1 distinct slots. One extra slot of slack keeps
+        // the wheel collision-free even at the window edge.
+        let wheel_len = (max_delay + 2).next_power_of_two();
+        let mut ports: Vec<PortHalf<P>> = (0..s)
+            .map(|_| PortHalf {
+                rings: Vec::with_capacity(s),
+            })
+            .collect();
+        let mut inboxes: Vec<InboxHalf<P>> = (0..s)
+            .map(|_| InboxHalf {
+                rings: Vec::with_capacity(s),
+            })
+            .collect();
+        for port in &mut ports {
+            for inbox in &mut inboxes {
+                let (producer, consumer) = ring::spsc(capacity);
+                port.rings.push(producer);
+                inbox.rings.push(consumer);
+            }
+        }
+        Ok(NetHub {
             dist,
             shards: s,
             sizer,
+            wheel_len,
+            ports: ports.into_iter().map(|h| Mutex::new(Some(h))).collect(),
+            inboxes: inboxes.into_iter().map(|h| Mutex::new(Some(h))).collect(),
             sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             max_message_bytes: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
-        }
+            spilled: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards the hub connects.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Distance (in rounds) between two shards.
@@ -82,20 +199,13 @@ impl<P> NetHub<P> {
         self.dist[a.index() * self.shards + b.index()]
     }
 
-    /// Removes and returns the messages due for `shard` at `round`,
-    /// sorted by `(sender, sender-sequence)`.
-    pub fn drain(&self, shard: ShardId, round: u64) -> Vec<NetEnvelope<P>> {
-        let mut due = self.boxes[shard.index()]
-            .lock()
-            .remove(&round)
-            .unwrap_or_default();
-        due.sort_by_key(|e| (e.from, e.seq));
-        due
-    }
-
     /// Total protocol sends attempted (dropped messages included,
     /// fault-plane duplicates excluded — matching the simulator's
     /// `sent_count`, which counts the scheduler's `send` calls).
+    ///
+    /// Ports tally locally and flush on drop, so hub counts are complete
+    /// once the sending threads have finished (or called
+    /// [`ShardPort::flush`]).
     pub fn sent_count(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
     }
@@ -119,78 +229,230 @@ impl<P> NetHub<P> {
     pub fn duplicated_count(&self) -> u64 {
         self.duplicated.load(Ordering::Relaxed)
     }
+
+    /// Messages that overflowed a link ring into its spill queue —
+    /// a sizing diagnostic, not a correctness signal.
+    pub fn spilled_count(&self) -> u64 {
+        self.spilled.load(Ordering::Relaxed)
+    }
 }
 
-/// One shard thread's sending endpoint: sequence counter plus the fault
-/// streams of its outgoing links, created lazily per destination.
+/// One shard thread's sending endpoint: the producer side of its
+/// outgoing rings, its sequence counter, its fault streams, and its
+/// local tallies.
 pub struct ShardPort<'h, P> {
     hub: &'h NetHub<P>,
     from: ShardId,
     seq: u64,
-    plan: Option<FaultPlan>,
-    links: Vec<Option<LinkFaults>>,
+    rings: Vec<RingProducer<Queued<P>>>,
+    links: LinkBank,
+    /// `max(1, d(from, to))`, premultiplied per destination.
+    delay: Vec<u64>,
+    sent: u64,
+    bytes_sent: u64,
+    max_message_bytes: u64,
+    dropped: u64,
+    duplicated: u64,
+    /// Spilled pushes already flushed into the hub (flush is idempotent;
+    /// drop flushes again).
+    spilled_reported: u64,
 }
 
-impl<'h, P: Clone> ShardPort<'h, P> {
-    /// Creates the port for `from`. An inert plan disables the fault path
-    /// entirely.
+impl<'h, P> ShardPort<'h, P> {
+    /// Takes the sender half of `from`'s links. An inert plan disables
+    /// the fault path entirely.
+    ///
+    /// # Panics
+    ///
+    /// If the port for `from` was already taken — each shard's producer
+    /// endpoints exist exactly once (the SPSC soundness contract).
     pub fn new(hub: &'h NetHub<P>, from: ShardId, plan: &FaultPlan) -> Self {
-        let plan = (!plan.is_inert()).then(|| plan.clone());
+        let half = hub.ports[from.index()]
+            .lock()
+            .take()
+            .expect("ShardPort::new called twice for one shard");
         ShardPort {
-            links: (0..hub.shards).map(|_| None).collect(),
+            links: LinkBank::new(plan, from, hub.shards),
+            delay: (0..hub.shards)
+                .map(|to| hub.distance(from, ShardId(to as u32)).max(1))
+                .collect(),
+            rings: half.rings,
             hub,
             from,
             seq: 0,
-            plan,
+            sent: 0,
+            bytes_sent: 0,
+            max_message_bytes: 0,
+            dropped: 0,
+            duplicated: 0,
+            spilled_reported: 0,
         }
     }
 
+    /// Adds this port's local tallies into the hub's shared counters and
+    /// zeroes them. Called automatically on drop; safe to call any
+    /// number of times.
+    pub fn flush(&mut self) {
+        let hub = self.hub;
+        hub.sent.fetch_add(self.sent, Ordering::Relaxed);
+        hub.bytes_sent.fetch_add(self.bytes_sent, Ordering::Relaxed);
+        hub.max_message_bytes
+            .fetch_max(self.max_message_bytes, Ordering::Relaxed);
+        hub.dropped.fetch_add(self.dropped, Ordering::Relaxed);
+        hub.duplicated.fetch_add(self.duplicated, Ordering::Relaxed);
+        let spilled: u64 = self.rings.iter().map(RingProducer::spilled).sum();
+        hub.spilled
+            .fetch_add(spilled - self.spilled_reported, Ordering::Relaxed);
+        self.spilled_reported = spilled;
+        self.sent = 0;
+        self.bytes_sent = 0;
+        self.max_message_bytes = 0;
+        self.dropped = 0;
+        self.duplicated = 0;
+    }
+}
+
+impl<'h, P: Clone> ShardPort<'h, P> {
     /// Sends `payload` to `to` at round `now`, honoring metric delay and
     /// the link's fault stream. Sequence-number consumption matches
     /// `simnet::Network`: a dropped message still consumes one sequence
     /// number, a duplicated one consumes two.
     pub fn send(&mut self, to: ShardId, now: u64, payload: P) {
-        let hub = self.hub;
-        let bytes = (hub.sizer)(&payload) as u64;
-        hub.sent.fetch_add(1, Ordering::Relaxed);
-        hub.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
-        hub.max_message_bytes.fetch_max(bytes, Ordering::Relaxed);
-        let decision = match &self.plan {
-            None => FaultDecision::Deliver,
-            Some(plan) => self.links[to.index()]
-                .get_or_insert_with(|| plan.link(self.from, to))
-                .decide(),
-        };
+        let bytes = (self.hub.sizer)(&payload) as u64;
+        self.sent += 1;
+        self.bytes_sent += bytes;
+        self.max_message_bytes = self.max_message_bytes.max(bytes);
+        let decision = self.links.decide(to);
         if decision == FaultDecision::Drop {
             self.seq += 1;
-            hub.dropped.fetch_add(1, Ordering::Relaxed);
+            self.dropped += 1;
             return;
         }
-        let copies = if decision == FaultDecision::Duplicate {
-            hub.duplicated.fetch_add(1, Ordering::Relaxed);
-            2
-        } else {
-            1
-        };
-        let deliver_at = now + hub.distance(self.from, to).max(1);
-        let mut inbox = hub.boxes[to.index()].lock();
-        let slot = inbox.entry(deliver_at).or_default();
-        // Clone only the extra fault-plane duplicates; the common
-        // single-copy payload is moved.
-        for _ in 1..copies {
-            slot.push(NetEnvelope {
-                from: self.from,
-                seq: self.seq,
-                payload: payload.clone(),
+        let deliver_at = now + self.delay[to.index()];
+        let ring = &mut self.rings[to.index()];
+        if decision == FaultDecision::Duplicate {
+            self.duplicated += 1;
+            // Clone only the extra fault-plane duplicate; the common
+            // single-copy payload is moved.
+            ring.push(Queued {
+                deliver_at,
+                env: NetEnvelope {
+                    from: self.from,
+                    seq: self.seq,
+                    payload: payload.clone(),
+                },
             });
             self.seq += 1;
         }
-        slot.push(NetEnvelope {
-            from: self.from,
-            seq: self.seq,
-            payload,
+        ring.push(Queued {
+            deliver_at,
+            env: NetEnvelope {
+                from: self.from,
+                seq: self.seq,
+                payload,
+            },
         });
         self.seq += 1;
+    }
+}
+
+impl<P> Drop for ShardPort<'_, P> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// One shard thread's receiving endpoint: the consumer side of its
+/// incoming rings plus the ring-of-rounds wheel that parks early
+/// arrivals until their delivery round.
+pub struct NetInbox<P> {
+    to: ShardId,
+    rings: Vec<RingConsumer<Queued<P>>>,
+    /// `wheel[deliver_at & mask]` holds envelopes due at `deliver_at`,
+    /// valid because the gate keeps the live window narrower than the
+    /// wheel (see `NetHub::with_capacity`).
+    wheel: Vec<Vec<NetEnvelope<P>>>,
+    mask: u64,
+    /// Arrivals beyond the wheel window — only reachable when drains are
+    /// *not* round-lockstep (tests that send many rounds ahead before
+    /// draining); keeps correctness independent of wheel sizing.
+    overflow: BTreeMap<u64, Vec<NetEnvelope<P>>>,
+}
+
+impl<P> NetInbox<P> {
+    /// Takes the receiver half of `to`'s links. The inbox holds its own
+    /// ends of the rings, so it does not borrow the hub.
+    ///
+    /// # Panics
+    ///
+    /// If the inbox for `to` was already taken — each shard's consumer
+    /// endpoints exist exactly once (the SPSC soundness contract).
+    pub fn new(hub: &NetHub<P>, to: ShardId) -> Self {
+        let half = hub.inboxes[to.index()]
+            .lock()
+            .take()
+            .expect("NetInbox::new called twice for one shard");
+        NetInbox {
+            to,
+            rings: half.rings,
+            wheel: (0..hub.wheel_len).map(|_| Vec::new()).collect(),
+            mask: hub.wheel_len - 1,
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    /// The shard this inbox belongs to.
+    pub fn shard(&self) -> ShardId {
+        self.to
+    }
+
+    /// Collects into `out` (cleared first) every message due for `round`,
+    /// sorted by `(sender, sender-sequence)`.
+    ///
+    /// One pass pops everything currently published on the incoming
+    /// rings: messages due now go straight to `out`, earlier-than-needed
+    /// arrivals are parked in the wheel (or the overflow map beyond the
+    /// wheel window) for a later drain. For the hand-out to be complete
+    /// the caller must ensure all sends of rounds `< round` happened
+    /// before this call — the drivers' round gate provides exactly that.
+    pub fn drain_into(&mut self, round: u64, out: &mut Vec<NetEnvelope<P>>) {
+        out.clear();
+        let NetInbox {
+            rings,
+            wheel,
+            overflow,
+            mask,
+            ..
+        } = self;
+        let mask = *mask;
+        for ring in rings.iter_mut() {
+            ring.drain_with(|q: Queued<P>| {
+                debug_assert!(q.deliver_at >= round, "missed a delivery round");
+                if q.deliver_at == round {
+                    out.push(q.env);
+                } else if q.deliver_at - round <= mask {
+                    wheel[(q.deliver_at & mask) as usize].push(q.env);
+                } else {
+                    overflow.entry(q.deliver_at).or_default().push(q.env);
+                }
+            });
+        }
+        let bucket = &mut wheel[(round & mask) as usize];
+        out.append(bucket);
+        if !overflow.is_empty() {
+            if let Some(late) = overflow.remove(&round) {
+                out.extend(late);
+            }
+        }
+        out.sort_unstable_by_key(|e| (e.from, e.seq));
+    }
+
+    /// Convenience wrapper over [`NetInbox::drain_into`] returning a
+    /// fresh vector (tests; the drivers reuse a buffer).
+    pub fn drain(&mut self, round: u64) -> Vec<NetEnvelope<P>> {
+        let mut out = Vec::new();
+        self.drain_into(round, &mut out);
+        out
     }
 }
 
@@ -206,29 +468,30 @@ mod tests {
     #[test]
     fn delivers_with_metric_delay_in_sender_order() {
         let m = LineMetric::new(4);
-        let hub: NetHub<u32> = NetHub::new(&m, sizer);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer).unwrap();
         let inert = FaultPlan::default();
+        let mut inbox = NetInbox::new(&hub, ShardId(3));
         let mut p0 = ShardPort::new(&hub, ShardId(0), &inert);
         let mut p1 = ShardPort::new(&hub, ShardId(1), &inert);
         p1.send(ShardId(3), 0, 30); // distance 2 → round 2
         p0.send(ShardId(3), 0, 10); // distance 3 → round 3
         p0.send(ShardId(3), 1, 11); // distance 3 → round 4
         p1.send(ShardId(3), 1, 31); // distance 2 → round 3
-        assert!(hub.drain(ShardId(3), 1).is_empty());
+        assert!(inbox.drain(1).is_empty());
         assert_eq!(
-            hub.drain(ShardId(3), 2)
-                .iter()
-                .map(|e| e.payload)
-                .collect::<Vec<_>>(),
+            inbox.drain(2).iter().map(|e| e.payload).collect::<Vec<_>>(),
             vec![30]
         );
         // Round 3: shard 0's first message sorts before shard 1's second.
-        let due = hub.drain(ShardId(3), 3);
+        let due = inbox.drain(3);
         let key: Vec<(u32, u64, u32)> = due
             .iter()
             .map(|e| (e.from.raw(), e.seq, e.payload))
             .collect();
         assert_eq!(key, vec![(0, 0, 10), (1, 1, 31)]);
+        assert_eq!(inbox.drain(4).len(), 1);
+        drop(p0);
+        drop(p1);
         assert_eq!(hub.sent_count(), 4);
         assert_eq!(hub.max_message_bytes(), 4);
     }
@@ -236,10 +499,76 @@ mod tests {
     #[test]
     fn self_send_takes_one_round() {
         let m = UniformMetric::new(2);
-        let hub: NetHub<u32> = NetHub::new(&m, sizer);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer).unwrap();
         let mut p = ShardPort::new(&hub, ShardId(1), &FaultPlan::default());
+        let mut inbox = NetInbox::new(&hub, ShardId(1));
         p.send(ShardId(1), 5, 9);
-        assert_eq!(hub.drain(ShardId(1), 6).len(), 1);
+        assert_eq!(inbox.drain(6).len(), 1);
+    }
+
+    #[test]
+    fn zero_shard_metric_is_a_typed_error() {
+        // The standard metrics refuse to build empty, so model the
+        // degenerate shape directly — exactly what a buggy custom
+        // ShardMetric impl could hand us.
+        struct Empty;
+        impl cluster::ShardMetric for Empty {
+            fn shards(&self) -> usize {
+                0
+            }
+            fn distance(&self, _: ShardId, _: ShardId) -> u64 {
+                0
+            }
+        }
+        let err = match NetHub::<u32>::new(&Empty, sizer) {
+            Ok(_) => panic!("zero-shard hub must not build"),
+            Err(e) => e,
+        };
+        assert_eq!(err, HubError::NoShards);
+        assert!(err.to_string().contains("zero shards"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ShardPort::new called twice")]
+    fn second_port_for_one_shard_panics() {
+        let m = UniformMetric::new(2);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer).unwrap();
+        let inert = FaultPlan::default();
+        let _first = ShardPort::new(&hub, ShardId(0), &inert);
+        let _second = ShardPort::new(&hub, ShardId(0), &inert);
+    }
+
+    #[test]
+    fn flush_is_idempotent_with_drop() {
+        let m = UniformMetric::new(2);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer).unwrap();
+        let mut p = ShardPort::new(&hub, ShardId(0), &FaultPlan::default());
+        p.send(ShardId(1), 0, 7);
+        p.flush();
+        assert_eq!(hub.sent_count(), 1);
+        assert_eq!(hub.bytes_sent(), 4);
+        drop(p); // must not double-count the flushed tallies
+        assert_eq!(hub.sent_count(), 1);
+        assert_eq!(hub.bytes_sent(), 4);
+        assert_eq!(hub.max_message_bytes(), 4);
+    }
+
+    #[test]
+    fn tiny_rings_spill_without_losing_messages() {
+        let m = UniformMetric::new(2);
+        let hub: NetHub<u32> = NetHub::with_capacity(&m, sizer, 1).unwrap();
+        let mut p = ShardPort::new(&hub, ShardId(0), &FaultPlan::default());
+        let mut inbox = NetInbox::new(&hub, ShardId(1));
+        for i in 0..50 {
+            p.send(ShardId(1), 0, i);
+        }
+        let due = inbox.drain(1);
+        assert_eq!(due.len(), 50);
+        // Sorted by seq regardless of which lane carried each message.
+        let seqs: Vec<u64> = due.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<_>>());
+        drop(p);
+        assert_eq!(hub.spilled_count(), 49, "capacity-1 ring spills the rest");
     }
 
     #[test]
@@ -253,16 +582,19 @@ mod tests {
             ..FaultPlan::default()
         };
         let m = UniformMetric::new(2);
-        let hub: NetHub<u32> = NetHub::new(&m, sizer);
+        let hub: NetHub<u32> = NetHub::new(&m, sizer).unwrap();
         let mut port = ShardPort::new(&hub, ShardId(0), &plan);
+        let mut inbox = NetInbox::new(&hub, ShardId(1));
         let mut net: simnet::Network<u32> = simnet::Network::new(&m);
         net.set_faults(plan);
         for i in 0..100 {
             port.send(ShardId(1), i, i as u32);
             net.send(ShardId(0), ShardId(1), sharding_core::Round(i), i as u32);
         }
+        // Sends ran 100 rounds ahead of the first drain, so most
+        // arrivals overflow the inbox wheel — the non-lockstep path.
         let hub_seen: Vec<u32> = (1..=101)
-            .flat_map(|r| hub.drain(ShardId(1), r))
+            .flat_map(|r| inbox.drain(r))
             .map(|e| e.payload)
             .collect();
         let net_seen: Vec<u32> = (1..=101)
@@ -270,6 +602,7 @@ mod tests {
             .map(|e| e.payload)
             .collect();
         assert_eq!(hub_seen, net_seen);
+        drop(port);
         assert_eq!(hub.dropped_count(), net.dropped_count());
         assert_eq!(hub.duplicated_count(), net.duplicated_count());
         assert!(hub.dropped_count() > 0 && hub.duplicated_count() > 0);

@@ -1,10 +1,12 @@
-//! Thread-per-shard networked BDS over any [`ShardMetric`].
+//! Networked BDS over any [`ShardMetric`].
 //!
 //! Runs the *identical* protocol as `schedulers::bds::BdsSim` — same
-//! messages, same byte estimates, same phase timing — but executed by
-//! `s` concurrent shard threads that communicate only through the
-//! [`NetHub`] delay queues (one barrier per round separates "all sends
-//! for round r are enqueued" from "round r+1 drains"). Each thread holds
+//! messages, same byte estimates, same phase timing — but executed
+//! concurrently by the cooperative claim executor
+//! ([`run_lockstep`], one worker thread per
+//! shard): shards communicate only through the [`NetHub`]'s lock-free
+//! link rings, and the [`RoundGate`] separates "all sends for round r
+//! are enqueued" from "round r+1 drains". Each shard holds
 //! only shard-local state; epoch lengths are learned from the leader's
 //! broadcast plan, and epochs with nothing scheduled advance by the
 //! two-gap timeout, exactly like the simulator since both sides observe
@@ -25,7 +27,9 @@
 //! freeze, dropped ballots strand transactions as forever-pending, and
 //! the injected-fault counters surface in [`RunReport::faults`].
 
-use crate::hub::{NetEnvelope, NetHub, ShardPort};
+use crate::exec::run_lockstep;
+use crate::hub::{NetEnvelope, NetHub, NetInbox, ShardPort};
+use crate::sync::RoundGate;
 use adversary::{Adversary, AdversaryConfig};
 use cluster::ShardMetric;
 use conflict::{color_transactions_with, ColoringScratch};
@@ -38,7 +42,6 @@ use simnet::faults::{FaultCounters, FaultPlan};
 use simnet::pbft::{ConsensusOutcome, PbftShard};
 use simnet::{LocalChain, ShardLedger};
 use std::collections::BTreeMap;
-use std::sync::Barrier;
 
 /// Messages of the networked BDS protocol — field-for-field the
 /// simulator's `Msg`, and [`msg_bytes`] must stay in lockstep with
@@ -95,9 +98,9 @@ pub(crate) struct CommitEvent {
     pub committed: bool,
 }
 
-/// What one shard thread hands back to the merge step.
+/// What one shard's slot hands back to the merge step (results are
+/// collected in shard order, so no index needs carrying).
 pub(crate) struct NodeResult {
-    pub shard: usize,
     pub events: Vec<CommitEvent>,
     pub samples: Vec<[u64; 4]>,
     pub epoch: u64,
@@ -240,8 +243,9 @@ impl<'a> ShardNode<'a> {
     }
 
     /// One full round, mirroring `BdsSim::step` (injection happens in the
-    /// caller, before this).
-    fn run_round(&mut self, inbox: Vec<NetEnvelope<Msg>>, port: &mut ShardPort<'_, Msg>) {
+    /// caller, before this). `inbox` is the driver's reusable drain
+    /// buffer; this consumes its contents.
+    fn run_round(&mut self, inbox: &mut Vec<NetEnvelope<Msg>>, port: &mut ShardPort<'_, Msg>) {
         let round = self.now;
         // 0. Intra-shard consensus on this round's inbox digest — the
         //    paper's round abstraction executed for real, with the fault
@@ -256,7 +260,7 @@ impl<'a> ShardNode<'a> {
 
         // 1. Delivery (the simulator delivers before the epoch
         //    transition for exactly this mirror).
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.handle(env.from, env.payload, port);
         }
 
@@ -468,23 +472,26 @@ pub fn run_net_bds(
 
     let (inject, generated) = pregenerate_workload(sys, map, adv, total);
 
-    let hub: NetHub<Msg> = NetHub::new(metric, msg_bytes);
-    let barrier = Barrier::new(s);
-    let results: Mutex<Vec<NodeResult>> = Mutex::new(Vec::new());
+    let hub: NetHub<Msg> = NetHub::new(metric, msg_bytes).expect("validated: at least one shard");
+    let gate = RoundGate::new(s);
 
-    std::thread::scope(|scope| {
-        for shard in 0..s {
-            let hub = &hub;
-            let barrier = &barrier;
-            let results = &results;
-            let inject = &inject;
+    // One slot per shard: node state, its hub endpoints, and the reusable
+    // drain buffer, handed between workers by the claim executor.
+    struct Slot<'h, 'a> {
+        node: ShardNode<'a>,
+        port: ShardPort<'h, Msg>,
+        inbox: NetInbox<Msg>,
+        buf: Vec<NetEnvelope<Msg>>,
+        crash_at: Option<u64>,
+    }
+    let slots: Vec<Mutex<Slot<'_, '_>>> = (0..s)
+        .map(|shard| {
+            let id = ShardId(shard as u32);
             let dist_row: Vec<u64> = (0..s)
-                .map(|b| metric.distance(ShardId(shard as u32), ShardId(b as u32)))
+                .map(|b| metric.distance(id, ShardId(b as u32)))
                 .collect();
-            scope.spawn(move || {
-                let id = ShardId(shard as u32);
-                let mut port = ShardPort::new(hub, id, faults);
-                let mut node = ShardNode {
+            Mutex::new(Slot {
+                node: ShardNode {
                     id,
                     s,
                     bcfg,
@@ -513,45 +520,57 @@ pub fn run_net_bds(
                     events: Vec::new(),
                     samples: Vec::with_capacity(total as usize),
                     counters: FaultCounters::default(),
-                };
-                let crash_at = faults.crash_round(id).map(|r| r.raw());
-                for round in 0..total {
-                    node.now = round;
-                    if crash_at == Some(round) {
-                        node.counters.crashes += 1;
-                    }
-                    let crashed = crash_at.is_some_and(|c| round >= c);
-                    // Injection: generated work accumulates even on a
-                    // crashed shard (it counts as pending, unserviced).
-                    node.injection
-                        .extend(inject[round as usize][shard].iter().cloned());
-                    if crashed {
-                        // A dead shard neither sends nor processes;
-                        // drain to keep the hub's memory bounded.
-                        drop(hub.drain(id, round));
-                    } else {
-                        let inbox = hub.drain(id, round);
-                        node.run_round(inbox, &mut port);
-                    }
-                    node.samples
-                        .push([node.injection.len() as u64 + node.undecided, 0, 0, 0]);
-                    barrier.wait();
-                }
-                results.lock().push(NodeResult {
-                    shard,
-                    events: node.events,
-                    samples: node.samples,
-                    epoch: node.epoch,
-                    max_epoch_len: node.max_epoch_len,
-                    chain_ok: node.chain.verify(),
-                    counters: node.counters,
-                });
-            });
+                },
+                port: ShardPort::new(&hub, id, faults),
+                inbox: NetInbox::new(&hub, id),
+                buf: Vec::new(),
+                crash_at: faults.crash_round(id).map(|r| r.raw()),
+            })
+        })
+        .collect();
+
+    run_lockstep(&gate, &slots, total, s, |slot, shard, round| {
+        let node = &mut slot.node;
+        node.now = round;
+        if slot.crash_at == Some(round) {
+            node.counters.crashes += 1;
         }
+        let crashed = slot.crash_at.is_some_and(|c| round >= c);
+        // Injection: generated work accumulates even on a crashed shard
+        // (it counts as pending, unserviced).
+        node.injection
+            .extend(inject[round as usize][shard].iter().cloned());
+        // The executor only runs this once every peer finished round-1
+        // sends; the drain below then sees all of them.
+        slot.inbox.drain_into(round, &mut slot.buf);
+        if crashed {
+            // A dead shard neither sends nor processes; the drain above
+            // still ran, keeping ring memory bounded — its contents just
+            // evaporate.
+            slot.buf.clear();
+        } else {
+            node.run_round(&mut slot.buf, &mut slot.port);
+        }
+        node.samples
+            .push([node.injection.len() as u64 + node.undecided, 0, 0, 0]);
     });
 
-    let mut res = results.into_inner();
-    res.sort_by_key(|r| r.shard);
+    // Consuming a slot drops its port, flushing the shard's local message
+    // tallies into the hub before the counters are read below.
+    let res: Vec<NodeResult> = slots
+        .into_iter()
+        .map(|slot| {
+            let Slot { node, .. } = slot.into_inner();
+            NodeResult {
+                events: node.events,
+                samples: node.samples,
+                epoch: node.epoch,
+                max_epoch_len: node.max_epoch_len,
+                chain_ok: node.chain.verify(),
+                counters: node.counters,
+            }
+        })
+        .collect();
 
     let mut collector = MetricsCollector::new(s);
     let mut log = Vec::new();

@@ -1,10 +1,11 @@
-//! Thread-per-shard networked FDS over any [`ShardMetric`].
+//! Networked FDS over any [`ShardMetric`].
 //!
-//! The same mirror discipline as [`crate::netbds`]: every shard thread
+//! The same mirror discipline as [`crate::netbds`]: every shard
 //! runs exactly the per-shard slice of `schedulers::fds::FdsSim` — home
 //! outbox, the leader state of the clusters it leads, its destination
-//! schedule queue — over the [`NetHub`] delay queues, one barrier per
-//! round. FDS needs no protocol change to be networkable: epoch starts,
+//! schedule queue — over the [`NetHub`]'s lock-free link rings, one
+//! watermark gate per run. FDS needs no protocol change to be
+//! networkable: epoch starts,
 //! coloring moments, and rescheduling alignments are pure functions of
 //! the round number and the (shared, immutable) cluster hierarchy, so no
 //! shard ever needs knowledge that only a message could carry and the
@@ -16,10 +17,12 @@
 //! faults, the run stays deterministic and the injected counters
 //! surface in [`RunReport::faults`](schedulers::metrics::RunReport::faults).
 
-use crate::hub::{NetEnvelope, NetHub, ShardPort};
+use crate::exec::run_lockstep;
+use crate::hub::{NetEnvelope, NetHub, NetInbox, ShardPort};
 use crate::netbds::{
     pregenerate_workload, replay_events, seal_outcome, CommitEvent, NetOutcome, NodeResult,
 };
+use crate::sync::RoundGate;
 use adversary::AdversaryConfig;
 use cluster::{ClusterId, Hierarchy, ShardMetric};
 use conflict::{color_transactions_with, Coloring, ColoringScratch};
@@ -32,7 +35,6 @@ use simnet::faults::{FaultCounters, FaultPlan};
 use simnet::pbft::{ConsensusOutcome, PbftShard};
 use simnet::{LocalChain, ShardLedger};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Barrier;
 
 /// Messages of the networked FDS protocol — field-for-field the
 /// simulator's `Msg`; [`msg_bytes`] mirrors `schedulers::fds::msg_bytes`.
@@ -139,8 +141,9 @@ impl<'a> ShardNode<'a> {
     }
 
     /// One full round, mirroring `FdsSim::step` (injection happens in
-    /// the caller, before this).
-    fn run_round(&mut self, inbox: Vec<NetEnvelope<Msg>>, port: &mut ShardPort<'_, Msg>) {
+    /// the caller, before this). `inbox` is the driver's reusable drain
+    /// buffer; this consumes its contents.
+    fn run_round(&mut self, inbox: &mut Vec<NetEnvelope<Msg>>, port: &mut ShardPort<'_, Msg>) {
         let round = self.now;
         // 0. Intra-shard consensus, with Byzantine voters flipped in.
         let digest = round ^ ((inbox.len() as u64) << 32) ^ (self.id.raw() as u64);
@@ -155,7 +158,7 @@ impl<'a> ShardNode<'a> {
         self.phase1_forward(port);
 
         // 2. Delivery.
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.handle(env.from, env.payload, port);
         }
 
@@ -415,29 +418,30 @@ pub fn run_net_fds(
 
     let (inject, generated) = pregenerate_workload(sys, map, adv, total);
 
-    let hub: NetHub<Msg> = NetHub::new(metric, msg_bytes);
-    let barrier = Barrier::new(s);
-    let results: Mutex<Vec<NodeResult>> = Mutex::new(Vec::new());
+    let hub: NetHub<Msg> = NetHub::new(metric, msg_bytes).expect("validated: at least one shard");
+    let gate = RoundGate::new(s);
 
-    std::thread::scope(|scope| {
-        for shard in 0..s {
-            let hub = &hub;
-            let barrier = &barrier;
-            let results = &results;
-            let inject = &inject;
-            let hierarchy = &hierarchy;
+    // One slot per shard, handed between workers by the claim executor.
+    struct Slot<'h, 'a> {
+        node: ShardNode<'a>,
+        port: ShardPort<'h, Msg>,
+        inbox: NetInbox<Msg>,
+        buf: Vec<NetEnvelope<Msg>>,
+        crash_at: Option<u64>,
+    }
+    let slots: Vec<Mutex<Slot<'_, '_>>> = (0..s)
+        .map(|shard| {
+            let id = ShardId(shard as u32);
             let dist_row: Vec<u64> = (0..s)
-                .map(|b| metric.distance(ShardId(shard as u32), ShardId(b as u32)))
+                .map(|b| metric.distance(id, ShardId(b as u32)))
                 .collect();
-            scope.spawn(move || {
-                let id = ShardId(shard as u32);
-                let mut port = ShardPort::new(hub, id, faults);
-                let mut node = ShardNode {
+            Mutex::new(Slot {
+                node: ShardNode {
                     id,
                     fcfg,
                     plan: faults,
                     fault_free: faults.is_inert(),
-                    hierarchy,
+                    hierarchy: &hierarchy,
                     dist_row,
                     ledger: ShardLedger::new(id, map, fcfg.initial_balance),
                     chain: LocalChain::new(id),
@@ -457,51 +461,64 @@ pub fn run_net_fds(
                     events: Vec::new(),
                     samples: Vec::with_capacity(total as usize),
                     counters: FaultCounters::default(),
-                };
-                let crash_at = faults.crash_round(id).map(|r| r.raw());
-                for round in 0..total {
-                    node.now = round;
-                    if crash_at == Some(round) {
-                        node.counters.crashes += 1;
-                    }
-                    let crashed = crash_at.is_some_and(|c| round >= c);
-                    // Injection: assign home clusters, park in the outbox
-                    // (generated work accumulates even on a crashed
-                    // shard — it counts as outstanding, unserviced).
-                    for t in inject[round as usize][shard].iter().cloned() {
-                        node.injected += 1;
-                        let x = t
-                            .shards()
-                            .map(|d| node.hierarchy.distance(t.home, d))
-                            .max()
-                            .unwrap_or(0);
-                        let cid = node.home_cluster_cached(t.home, x);
-                        node.outbox.push((cid, t));
-                    }
-                    if crashed {
-                        drop(hub.drain(id, round));
-                    } else {
-                        let inbox = hub.drain(id, round);
-                        node.run_round(inbox, &mut port);
-                    }
-                    node.samples.push(node.sample());
-                    barrier.wait();
-                }
-                results.lock().push(NodeResult {
-                    shard,
-                    events: node.events,
-                    samples: node.samples,
-                    epoch: 0,
-                    max_epoch_len: 0,
-                    chain_ok: node.chain.verify(),
-                    counters: node.counters,
-                });
-            });
+                },
+                port: ShardPort::new(&hub, id, faults),
+                inbox: NetInbox::new(&hub, id),
+                buf: Vec::new(),
+                crash_at: faults.crash_round(id).map(|r| r.raw()),
+            })
+        })
+        .collect();
+
+    run_lockstep(&gate, &slots, total, s, |slot, shard, round| {
+        let node = &mut slot.node;
+        node.now = round;
+        if slot.crash_at == Some(round) {
+            node.counters.crashes += 1;
         }
+        let crashed = slot.crash_at.is_some_and(|c| round >= c);
+        // Injection: assign home clusters, park in the outbox (generated
+        // work accumulates even on a crashed shard — it counts as
+        // outstanding, unserviced).
+        for t in inject[round as usize][shard].iter().cloned() {
+            node.injected += 1;
+            let x = t
+                .shards()
+                .map(|d| node.hierarchy.distance(t.home, d))
+                .max()
+                .unwrap_or(0);
+            let cid = node.home_cluster_cached(t.home, x);
+            node.outbox.push((cid, t));
+        }
+        // The executor only runs this once every peer finished round-1
+        // sends; the drain below then sees all of them.
+        slot.inbox.drain_into(round, &mut slot.buf);
+        if crashed {
+            // Drained to keep ring memory bounded; a dead shard just
+            // discards its inbox.
+            slot.buf.clear();
+        } else {
+            node.run_round(&mut slot.buf, &mut slot.port);
+        }
+        node.samples.push(node.sample());
     });
 
-    let mut res = results.into_inner();
-    res.sort_by_key(|r| r.shard);
+    // Consuming a slot drops its port, flushing the shard's local message
+    // tallies into the hub before the counters are read below.
+    let res: Vec<NodeResult> = slots
+        .into_iter()
+        .map(|slot| {
+            let Slot { node, .. } = slot.into_inner();
+            NodeResult {
+                events: node.events,
+                samples: node.samples,
+                epoch: 0,
+                max_epoch_len: 0,
+                chain_ok: node.chain.verify(),
+                counters: node.counters,
+            }
+        })
+        .collect();
 
     let mut collector = MetricsCollector::new(s);
     let mut log = Vec::new();

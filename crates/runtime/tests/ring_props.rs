@@ -1,0 +1,130 @@
+//! Property tests for the SPSC [ring](runtime::ring) — the unsafe core
+//! of the message plane, checked against a trivially-correct two-lane
+//! model (a bounded `VecDeque` ring plus an unbounded `VecDeque` spill).
+//!
+//! Single-threaded, the ring's behavior is fully deterministic: a push
+//! lands in the ring lane iff fewer than `capacity` (rounded up to a
+//! power of two) values are in flight, else it spills; a drain hands out
+//! the ring lane FIFO, then the spill lane FIFO. The properties pin that
+//! contract over arbitrary push/drain interleavings, capacities
+//! (including 0 and 1, which both round to a single slot), wrap-around
+//! far past the slot count, and the spill counter. Concurrency is
+//! exercised by `tests/hub_stress.rs`; this suite is about the
+//! sequential semantics every interleaving must refine.
+
+use proptest::prelude::*;
+use runtime::ring::spsc;
+use std::collections::VecDeque;
+
+/// The reference implementation: what a ring of rounded capacity `cap`
+/// with an overflow lane must do.
+struct Model {
+    cap: usize,
+    ring: VecDeque<u64>,
+    spill: VecDeque<u64>,
+    spilled: u64,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            cap: capacity.max(1).next_power_of_two(),
+            ring: VecDeque::new(),
+            spill: VecDeque::new(),
+            spilled: 0,
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        if self.ring.len() < self.cap {
+            self.ring.push_back(v);
+        } else {
+            self.spill.push_back(v);
+            self.spilled += 1;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<u64> {
+        self.ring.drain(..).chain(self.spill.drain(..)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of pushes and drains produce exactly the
+    /// model's per-drain output vectors and spill count. `op % 5 == 0`
+    /// drains, anything else pushes a unique value — pushes dominate so
+    /// the overflow lane actually engages at small capacities.
+    #[test]
+    fn matches_two_lane_model(
+        capacity in 0usize..=64,
+        ops in proptest::collection::vec(proptest::any::<u8>(), 0..300),
+    ) {
+        let (mut p, mut c) = spsc::<u64>(capacity);
+        let mut model = Model::new(capacity);
+        let mut next = 0u64;
+        for op in ops {
+            if op % 5 == 0 {
+                let mut got = Vec::new();
+                let taken = c.drain_with(|v| got.push(v));
+                prop_assert_eq!(taken, got.len());
+                prop_assert_eq!(&got, &model.drain(), "drain diverged from model");
+            } else {
+                p.push(next);
+                model.push(next);
+                next += 1;
+            }
+        }
+        let mut last = Vec::new();
+        c.drain_with(|v| last.push(v));
+        prop_assert_eq!(&last, &model.drain(), "final drain diverged");
+        prop_assert_eq!(p.spilled(), model.spilled, "spill counter diverged");
+        prop_assert!(c.is_empty());
+    }
+
+    /// Cycles that always drain everything see global FIFO order, no
+    /// matter how often the cursors wrap the (tiny) slot array — ring
+    /// values predate spill values within any batch, and batches never
+    /// overlap.
+    #[test]
+    fn full_drain_cycles_preserve_global_fifo(
+        capacity in 0usize..=8,
+        batches in proptest::collection::vec(0usize..24, 1..40),
+    ) {
+        let (mut p, mut c) = spsc::<u64>(capacity);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for batch in batches {
+            for _ in 0..batch {
+                p.push(next);
+                next += 1;
+            }
+            let mut out = Vec::new();
+            c.drain_with(|v| out.push(v));
+            for v in out {
+                prop_assert_eq!(v, expect, "FIFO broken after wrap-around");
+                expect += 1;
+            }
+        }
+        prop_assert_eq!(expect, next, "every push eventually drained");
+    }
+
+    /// The spill lane activates exactly past the rounded capacity: `n`
+    /// pushes into an undrained ring spill `n - cap` values.
+    #[test]
+    fn spill_activates_exactly_at_capacity(
+        capacity in 0usize..=32,
+        n in 0usize..200,
+    ) {
+        let (mut p, mut c) = spsc::<u64>(capacity);
+        let rounded = capacity.max(1).next_power_of_two();
+        for i in 0..n {
+            p.push(i as u64);
+        }
+        prop_assert_eq!(p.spilled(), n.saturating_sub(rounded) as u64);
+        let mut count = 0usize;
+        c.drain_with(|_| count += 1);
+        prop_assert_eq!(count, n, "spilled values are not lost");
+    }
+}

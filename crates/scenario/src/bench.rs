@@ -165,12 +165,12 @@ struct MicroFixture {
 enum MicroScheduler {
     Bds,
     Fds,
-    /// The thread-per-shard networked engine, end to end: spawns one OS
-    /// thread per shard per iteration, so the timed region covers thread
-    /// setup, per-round barriers, and locked mailbox traffic — the costs
-    /// a runtime regression would show up in. (Workload pre-generation
-    /// happens inside the driver and is included; it is the same fixed
-    /// seed every iteration.)
+    /// The networked engine, end to end: spawns one worker thread per
+    /// shard per iteration, so the timed region covers thread setup, the
+    /// cooperative round executor, and the lock-free ring traffic — the
+    /// costs a runtime regression would show up in. (Workload
+    /// pre-generation happens inside the driver and is included; it is
+    /// the same fixed seed every iteration.)
     NetBds,
 }
 
@@ -217,6 +217,35 @@ fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
         faulty_per_shard: 1,
     };
     let net_map = AccountMap::random(&net_sys, 1);
+    // Scale sweep for the message plane: the same networked engine at
+    // 16, 64, and 256 shard threads. Rounds shrink as the width grows
+    // so each point costs roughly the same wall time — the interesting
+    // output is ns/round at each width, which exposes how the
+    // cooperative executor and the O(s) ring merge degrade as the
+    // per-round work fans out.
+    let net_scale = |name: &'static str, shards: usize, rounds: u64| -> MicroFixture {
+        let sys = SystemConfig {
+            shards,
+            accounts: shards,
+            k_max: 6,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+        };
+        let map = AccountMap::random(&sys, 1);
+        MicroFixture {
+            name,
+            rounds,
+            sys,
+            map,
+            batches: Vec::new(),
+            scheduler: MicroScheduler::NetBds,
+        }
+    };
+    let (r16, r64, r256) = if opts.quick {
+        (400, 120, 40)
+    } else {
+        (1_200, 360, 120)
+    };
     vec![
         MicroFixture {
             name: "bds_inner",
@@ -242,6 +271,9 @@ fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
             batches: Vec::new(),
             scheduler: MicroScheduler::NetBds,
         },
+        net_scale("net_scale_16", 16, r16),
+        net_scale("net_scale_64", 64, r64),
+        net_scale("net_scale_256", 256, r256),
     ]
 }
 

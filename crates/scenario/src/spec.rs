@@ -349,7 +349,7 @@ pub struct JobSpec {
     /// Which scheduler runs the job.
     pub scheduler: SchedulerKind,
     /// Which execution engine runs it: the shared-memory simulator or
-    /// the thread-per-shard networked runtime (fault-free runs of the
+    /// the concurrent networked runtime (fault-free runs of the
     /// two are byte-identical, test-enforced).
     pub engine: EngineKind,
     /// Shard metric shape.

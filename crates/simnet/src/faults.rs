@@ -7,7 +7,7 @@
 //! decisions are pure functions of `(plan, link, per-link message index)`
 //! or `(plan, shard, round)` — never of wall-clock or thread interleaving
 //! — so a faulty run is exactly as reproducible as a fault-free one, even
-//! when the execution engine is one OS thread per shard.
+//! when the execution engine runs shards concurrently.
 //!
 //! Drop decisions are budgeted **per directed link**: once a link has
 //! dropped [`FaultPlan::drop_budget`] messages it delivers everything
@@ -212,6 +212,57 @@ impl LinkFaults {
     }
 }
 
+/// The outgoing fault streams of one sender: a [`LinkFaults`] per
+/// destination, created lazily on first use of each link — the shared
+/// plumbing between `simnet::Network` (which holds one bank per sender)
+/// and the runtime's `ShardPort` (where each shard thread owns exactly
+/// its own bank, so fault decisions never race).
+///
+/// An inert plan collapses to a no-op: `decide` short-circuits to
+/// [`FaultDecision::Deliver`] without allocating any stream.
+#[derive(Debug)]
+pub struct LinkBank {
+    /// `None` when the plan is inert — the fault-free fast path.
+    plan: Option<FaultPlan>,
+    from: ShardId,
+    /// Lazily created per-destination streams (empty when inert).
+    links: Vec<Option<LinkFaults>>,
+}
+
+impl LinkBank {
+    /// The bank of `from`'s outgoing links in a system of `shards`
+    /// shards. Inert plans disable the fault path entirely.
+    pub fn new(plan: &FaultPlan, from: ShardId, shards: usize) -> Self {
+        let plan = (!plan.is_inert()).then(|| plan.clone());
+        LinkBank {
+            links: if plan.is_some() {
+                (0..shards).map(|_| None).collect()
+            } else {
+                Vec::new()
+            },
+            plan,
+            from,
+        }
+    }
+
+    /// Decides the fate of the next message on the link `from → to`,
+    /// consuming one draw from that link's stream (none when inert).
+    pub fn decide(&mut self, to: ShardId) -> FaultDecision {
+        match &self.plan {
+            None => FaultDecision::Deliver,
+            Some(plan) => self.links[to.index()]
+                .get_or_insert_with(|| plan.link(self.from, to))
+                .decide(),
+        }
+    }
+
+    /// True when the bank was built from an inert plan and will never
+    /// drop or duplicate anything.
+    pub fn is_inert(&self) -> bool {
+        self.plan.is_none()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +354,28 @@ mod tests {
         };
         assert_eq!(plan.byz_flips_for(1), 1);
         assert_eq!(plan.byz_flips_for(8), 5);
+    }
+
+    #[test]
+    fn link_bank_matches_raw_link_streams() {
+        let plan = FaultPlan {
+            drop_prob: 0.3,
+            dup_prob: 0.2,
+            ..FaultPlan::default()
+        };
+        let mut bank = LinkBank::new(&plan, ShardId(1), 4);
+        assert!(!bank.is_inert());
+        // Interleave two destinations through the bank; each must see
+        // exactly the stream a standalone LinkFaults would produce.
+        let mut raw2 = plan.link(ShardId(1), ShardId(2));
+        let mut raw3 = plan.link(ShardId(1), ShardId(3));
+        for _ in 0..64 {
+            assert_eq!(bank.decide(ShardId(2)), raw2.decide());
+            assert_eq!(bank.decide(ShardId(3)), raw3.decide());
+        }
+        let inert = LinkBank::new(&FaultPlan::default(), ShardId(0), 4);
+        assert!(inert.is_inert());
+        assert!(inert.links.is_empty(), "inert banks allocate nothing");
     }
 
     #[test]

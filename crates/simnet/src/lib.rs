@@ -42,7 +42,7 @@ pub mod network;
 pub mod pbft;
 
 pub use blockchain::{Block, LocalChain};
-pub use faults::{FaultCounters, FaultDecision, FaultPlan, LinkFaults};
+pub use faults::{FaultCounters, FaultDecision, FaultPlan, LinkBank, LinkFaults};
 pub use ledger::ShardLedger;
 pub use network::{Envelope, Network};
 pub use pbft::{ClusterSender, ConsensusOutcome, PbftShard, Vote};

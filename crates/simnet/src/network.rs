@@ -8,14 +8,14 @@
 //! sequence), so simulations are bit-reproducible. Sequence numbers are
 //! **per sender** — the tie-break depends only on each sender's own send
 //! order, never on how sends from different shards interleave, which is
-//! what lets the thread-per-shard runtime reproduce the simulator's
+//! what lets the concurrent networked runtime reproduce the simulator's
 //! delivery order exactly.
 //!
 //! An optional [`FaultPlan`] makes the network lossy: each directed link
 //! consumes one deterministic ChaCha draw per message to decide
 //! deliver/drop/duplicate (see [`crate::faults`]).
 
-use crate::faults::{FaultDecision, FaultPlan, LinkFaults};
+use crate::faults::{FaultDecision, FaultPlan, LinkBank};
 use cluster::ShardMetric;
 use sharding_core::{Round, ShardId};
 use std::collections::BTreeMap;
@@ -58,10 +58,11 @@ pub struct Network<P> {
     sizer: Option<fn(&P) -> usize>,
     bytes_sent: u64,
     max_message_bytes: u64,
-    /// Optional fault plane: per-directed-link deterministic streams,
-    /// created lazily on first use of each link.
-    faults: Option<FaultPlan>,
-    links: BTreeMap<(u32, u32), LinkFaults>,
+    /// Optional fault plane: one [`LinkBank`] of outgoing streams per
+    /// sender (empty when fault-free) — the same per-sender plumbing the
+    /// threaded runtime gives each `ShardPort`, so both engines draw the
+    /// identical decisions from the identical streams.
+    banks: Vec<LinkBank>,
     dropped_count: u64,
     duplicated_count: u64,
 }
@@ -86,8 +87,7 @@ impl<P> Network<P> {
             sizer: None,
             bytes_sent: 0,
             max_message_bytes: 0,
-            faults: None,
-            links: BTreeMap::new(),
+            banks: Vec::new(),
             dropped_count: 0,
             duplicated_count: 0,
         }
@@ -102,7 +102,9 @@ impl<P> Network<P> {
     /// per-link streams. Inert plans are ignored.
     pub fn set_faults(&mut self, plan: FaultPlan) {
         if !plan.is_inert() {
-            self.faults = Some(plan);
+            self.banks = (0..self.shards)
+                .map(|from| LinkBank::new(&plan, ShardId(from as u32), self.shards))
+                .collect();
         }
     }
 
@@ -147,13 +149,9 @@ impl<P> Network<P> {
             self.max_message_bytes = self.max_message_bytes.max(bytes);
         }
         self.sent_count += 1;
-        let decision = match &self.faults {
+        let decision = match self.banks.get_mut(from.index()) {
             None => FaultDecision::Deliver,
-            Some(plan) => self
-                .links
-                .entry((from.raw(), to.raw()))
-                .or_insert_with(|| plan.link(from, to))
-                .decide(),
+            Some(bank) => bank.decide(to),
         };
         if decision == FaultDecision::Drop {
             // The sender paid for the message (it counts as sent) but it

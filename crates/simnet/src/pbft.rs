@@ -129,11 +129,33 @@ impl PbftShard {
     /// plane drives each round.
     pub fn decide_with_byzantine(&self, proposal: u64, flips: usize) -> ConsensusOutcome {
         let flips = flips.min(self.faulty);
-        let mut votes = vec![Vote::For(proposal); self.nodes];
-        for v in votes.iter_mut().take(flips) {
-            *v = Vote::For(!proposal);
+        // The vote multiset has exactly two digests — `proposal` from the
+        // `n - flips` honest nodes, `!proposal` from the flipped ones —
+        // so the generic tally of [`PbftShard::decide`] collapses to one
+        // comparison. This is the networked engine's per-shard per-round
+        // path, so it must not allocate; `debug_assert` pins equivalence
+        // with the generic tally.
+        let honest = self.nodes - flips;
+        let (win_digest, win_count) = if flips > honest || (flips == honest && !proposal < proposal)
+        {
+            (!proposal, flips)
+        } else {
+            (proposal, honest)
+        };
+        let outcome = if win_count >= self.quorum() {
+            ConsensusOutcome::Decided(win_digest)
+        } else {
+            ConsensusOutcome::NoQuorum
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut votes = vec![Vote::For(proposal); self.nodes];
+            for v in votes.iter_mut().take(flips) {
+                *v = Vote::For(!proposal);
+            }
+            debug_assert_eq!(outcome, self.decide(proposal, &votes));
         }
-        self.decide(proposal, &votes)
+        outcome
     }
 }
 
