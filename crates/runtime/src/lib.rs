@@ -41,7 +41,8 @@
 //!
 //! Scenario files select this engine with `engine = net` (see
 //! [`EngineKind`]); `blockshard run` then routes jobs through
-//! [`run_net_bds`] / [`run_net_fds`] instead of the simulators.
+//! [`run_net_bds`] / [`run_net_sched`] / [`run_net_fds`] instead of
+//! the simulators.
 //!
 //! `unsafe` is denied crate-wide with one audited exception: the slot
 //! array of the SPSC ring in [`ring`], whose ownership protocol is
@@ -62,6 +63,6 @@ pub mod sync;
 pub use engine::EngineKind;
 pub use exec::run_lockstep;
 pub use hub::{HubError, NetEnvelope, NetHub, NetInbox, ShardPort};
-pub use netbds::{run_net_bds, NetOutcome};
+pub use netbds::{run_net_bds, run_net_sched, NetOutcome};
 pub use netfds::run_net_fds;
 pub use sync::RoundGate;

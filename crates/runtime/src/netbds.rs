@@ -32,10 +32,10 @@ use crate::hub::{NetEnvelope, NetHub, NetInbox, ShardPort};
 use crate::sync::RoundGate;
 use adversary::{Adversary, AdversaryConfig};
 use cluster::ShardMetric;
-use conflict::{color_transactions_with, ColoringScratch};
 use parking_lot::Mutex;
 use schedulers::bds::BdsConfig;
 use schedulers::metrics::{MetricsCollector, RunReport, SchedulerKind};
+use schedulers::scheduler::Scheduler;
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::faults::{FaultCounters, FaultPlan};
@@ -226,7 +226,10 @@ struct ShardNode<'a> {
     next_epoch_at: Option<u64>,
     undecided: u64,
     max_epoch_len: u64,
-    coloring_scratch: ColoringScratch,
+    /// The epoch-planning policy (consulted only in the rounds this
+    /// shard is the rotating leader; purity of the [`Scheduler`]
+    /// contract is what keeps every shard's copy interchangeable).
+    policy: Box<dyn Scheduler>,
     assign_scratch: Vec<Vec<(TxnId, u32)>>,
     events: Vec<CommitEvent>,
     samples: Vec<[u64; 4]>,
@@ -328,12 +331,16 @@ impl<'a> ShardNode<'a> {
         let num_colors = if txns.is_empty() {
             0
         } else {
-            let coloring =
-                color_transactions_with(self.bcfg.coloring, &txns, &mut self.coloring_scratch);
+            let plan = self.policy.plan_epoch(self.epoch, &txns);
+            debug_assert!(
+                plan.is_safe_for(&txns),
+                "{} violated the epoch-plan safety contract",
+                self.policy.kind()
+            );
             for (v, t) in txns.iter().enumerate() {
-                self.assign_scratch[t.home.index()].push((t.id, coloring.color(v)));
+                self.assign_scratch[t.home.index()].push((t.id, plan.slot(v)));
             }
-            coloring.num_colors()
+            plan.num_slots
         };
         if num_colors > 0 {
             for h in 0..self.s {
@@ -452,7 +459,9 @@ impl<'a> ShardNode<'a> {
 
 /// Runs the networked BDS: the adversary is evaluated up front (it is a
 /// pure function of its seed), partitioned per `(round, home shard)`, and
-/// each shard thread reads only its own slice.
+/// each shard thread reads only its own slice. Equivalent to
+/// [`run_net_sched`] with [`SchedulerKind::Bds`] and one worker per
+/// shard.
 #[allow(clippy::too_many_arguments)]
 pub fn run_net_bds(
     sys: &SystemConfig,
@@ -462,6 +471,43 @@ pub fn run_net_bds(
     metric: &dyn ShardMetric,
     bcfg: BdsConfig,
     faults: &FaultPlan,
+) -> NetOutcome {
+    run_net_sched(
+        sys,
+        map,
+        adv,
+        rounds,
+        metric,
+        bcfg,
+        faults,
+        SchedulerKind::Bds,
+        sys.shards,
+    )
+}
+
+/// Runs any epoch-hosted scheduler — BDS proper or a zoo policy — over
+/// the networked engine. `kind` must have an epoch policy
+/// ([`SchedulerKind::epoch_policy`] returns `Some`); FDS has its own
+/// networked driver and FCFS no networked protocol at all. `workers`
+/// sets the cooperative executor's thread count (shard count is the
+/// natural choice; the result is identical for any `workers >= 1` — the
+/// conformance harness pins it).
+///
+/// Every shard constructs its own policy instance from the factory; only
+/// the rotating leader's is consulted each epoch, which is sound because
+/// the [`Scheduler`] contract requires plans to be pure functions of
+/// `(epoch, batch)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_net_sched(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: Round,
+    metric: &dyn ShardMetric,
+    bcfg: BdsConfig,
+    faults: &FaultPlan,
+    kind: SchedulerKind,
+    workers: usize,
 ) -> NetOutcome {
     sys.validate().expect("valid system config");
     assert_eq!(metric.shards(), sys.shards);
@@ -515,7 +561,11 @@ pub fn run_net_bds(
                     next_epoch_at: None,
                     undecided: 0,
                     max_epoch_len: 0,
-                    coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+                    policy: kind
+                        .epoch_policy(bcfg.coloring, sys.accounts, s)
+                        .unwrap_or_else(|| {
+                            panic!("{kind} has no epoch policy; use its dedicated networked driver")
+                        }),
                     assign_scratch: vec![Vec::new(); s],
                     events: Vec::new(),
                     samples: Vec::with_capacity(total as usize),
@@ -529,7 +579,7 @@ pub fn run_net_bds(
         })
         .collect();
 
-    run_lockstep(&gate, &slots, total, s, |slot, shard, round| {
+    run_lockstep(&gate, &slots, total, workers, |slot, shard, round| {
         let node = &mut slot.node;
         node.now = round;
         if slot.crash_at == Some(round) {
@@ -590,7 +640,7 @@ pub fn run_net_bds(
     let epochs = res.iter().map(|r| r.epoch).max().unwrap_or(0);
     let max_epoch_len = res.iter().map(|r| r.max_epoch_len).max().unwrap_or(0);
     let report = collector.finish(
-        SchedulerKind::Bds,
+        kind,
         total,
         generated,
         pending_at_end,

@@ -25,10 +25,10 @@ use crate::netbds::{
 use crate::sync::RoundGate;
 use adversary::AdversaryConfig;
 use cluster::{ClusterId, Hierarchy, ShardMetric};
-use conflict::{color_transactions_with, Coloring, ColoringScratch};
 use parking_lot::Mutex;
 use schedulers::fds::{FdsConfig, Height};
 use schedulers::metrics::{MetricsCollector, SchedulerKind};
+use schedulers::scheduler::{ColoringPolicy, EpochPlan, Scheduler};
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::faults::{FaultCounters, FaultPlan};
@@ -77,7 +77,7 @@ struct LeaderState {
     incoming: Vec<Transaction>,
     sch_ldr: BTreeMap<TxnId, LeaderEntry>,
     last_ids: Vec<TxnId>,
-    last_coloring: Option<Coloring>,
+    last_plan: Option<EpochPlan>,
 }
 
 /// Schedule-queue state of this shard as a destination (simulator's
@@ -115,7 +115,7 @@ struct ShardNode<'a> {
     resolved: u64,
     /// Memoized `Hierarchy::home_cluster` per `(home, x)`.
     home_cluster_cache: Vec<Vec<Option<ClusterId>>>,
-    coloring_scratch: ColoringScratch,
+    policy: ColoringPolicy,
     events: Vec<CommitEvent>,
     samples: Vec<[u64; 4]>,
     counters: FaultCounters,
@@ -242,18 +242,17 @@ impl<'a> ShardNode<'a> {
         targets.sort_by_key(|t| t.id);
         targets.dedup_by_key(|t| t.id);
 
-        let unchanged = st.last_coloring.is_some()
+        let unchanged = st.last_plan.is_some()
             && st.last_ids.len() == targets.len()
             && st.last_ids.iter().zip(&targets).all(|(id, t)| *id == t.id);
-        let coloring = if unchanged {
-            st.last_coloring.clone().expect("checked above")
+        let plan = if unchanged {
+            st.last_plan.clone().expect("checked above")
         } else {
-            let c =
-                color_transactions_with(self.fcfg.coloring, &targets, &mut self.coloring_scratch);
+            let p = self.policy.plan_epoch(t_end, &targets);
             st.last_ids.clear();
             st.last_ids.extend(targets.iter().map(|t| t.id));
-            st.last_coloring = Some(c.clone());
-            c
+            st.last_plan = Some(p.clone());
+            p
         };
         let now = self.now;
         for (v, t) in targets.iter().enumerate() {
@@ -261,7 +260,7 @@ impl<'a> ShardNode<'a> {
                 t_end,
                 layer: cid.layer,
                 sublayer: cid.sublayer,
-                color: coloring.color(v),
+                color: plan.slot(v),
                 txn: t.id,
             };
             for sub in &t.subs {
@@ -457,7 +456,7 @@ pub fn run_net_fds(
                     injected: 0,
                     resolved: 0,
                     home_cluster_cache: vec![Vec::new(); s],
-                    coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+                    policy: ColoringPolicy::new(SchedulerKind::Fds, fcfg.coloring, sys.accounts),
                     events: Vec::new(),
                     samples: Vec::with_capacity(total as usize),
                     counters: FaultCounters::default(),

@@ -1,0 +1,132 @@
+//! Net-side scheduler conformance: the half of the zoo harness that the
+//! simulator-side suite (`schedulers/tests/conformance.rs`) cannot run,
+//! because the networked engine depends on the `schedulers` crate.
+//!
+//! For every registered kind that supports `engine = net` through the
+//! shared epoch host — BDS proper and all four zoo policies — this
+//! pins:
+//!
+//! * **sim/net byte-equality**: `run_net_sched` reproduces the
+//!   simulator's report fingerprint exactly on fault-free runs (FDS has
+//!   its own driver and its own differential suite; FCFS has no
+//!   networked protocol and is rejected at plan time);
+//! * **worker-count independence**: the cooperative claim executor
+//!   gives the same bytes with 1 worker, one per shard, or a
+//!   deliberate oversubscription — thread count is a performance knob,
+//!   never a semantic one.
+
+use adversary::{AdversaryConfig, StrategyKind};
+use cluster::UniformMetric;
+use conflict::ColoringStrategy;
+use runtime::run_net_sched;
+use schedulers::bds::{BdsConfig, BdsSim};
+use schedulers::driver::drive;
+use schedulers::testkit::report_fingerprint;
+use schedulers::SchedulerKind;
+use sharding_core::{AccountMap, Round, SystemConfig};
+use simnet::FaultPlan;
+
+fn system() -> (SystemConfig, AccountMap) {
+    let sys = SystemConfig {
+        shards: 8,
+        accounts: 8,
+        k_max: 3,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let map = AccountMap::round_robin(&sys);
+    (sys, map)
+}
+
+fn adversary(seed: u64) -> AdversaryConfig {
+    AdversaryConfig {
+        rho: 0.08,
+        burstiness: 4,
+        strategy: StrategyKind::UniformRandom,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Every kind the shared epoch host carries over the network.
+fn epoch_hosted_kinds() -> Vec<SchedulerKind> {
+    SchedulerKind::ALL
+        .into_iter()
+        .filter(|k| k.epoch_policy(ColoringStrategy::Greedy, 8, 8).is_some())
+        .collect()
+}
+
+#[test]
+fn every_epoch_hosted_kind_is_net_capable_and_vice_versa() {
+    for kind in SchedulerKind::ALL {
+        let hosted = kind.epoch_policy(ColoringStrategy::Greedy, 8, 8).is_some();
+        match kind {
+            SchedulerKind::Fds => assert!(
+                !hosted && kind.supports_net(),
+                "FDS rides its own networked driver"
+            ),
+            SchedulerKind::Fcfs => {
+                assert!(!hosted && !kind.supports_net(), "FCFS is sim-only")
+            }
+            _ => assert!(
+                hosted && kind.supports_net(),
+                "{kind}: epoch-hosted kinds are net-capable by construction"
+            ),
+        }
+    }
+}
+
+#[test]
+fn net_reports_match_the_simulator_byte_for_byte() {
+    let (sys, map) = system();
+    let adv = adversary(23);
+    let rounds = Round(400);
+    let metric = UniformMetric::new(sys.shards);
+    let faults = FaultPlan::default();
+    let bcfg = BdsConfig::default();
+    for kind in epoch_hosted_kinds() {
+        let net = run_net_sched(
+            &sys, &map, &adv, rounds, &metric, bcfg, &faults, kind, sys.shards,
+        );
+        assert!(net.chains_verified, "{kind}: chain verification failed");
+        let policy = kind
+            .epoch_policy(bcfg.coloring, sys.accounts, sys.shards)
+            .expect("epoch-hosted by construction");
+        let sim = BdsSim::with_policy(&sys, &map, bcfg, &metric, policy);
+        let sim_report = drive(sim, &sys, &map, &adv, rounds);
+        assert_eq!(
+            report_fingerprint(&net.report),
+            report_fingerprint(&sim_report),
+            "{kind}: net diverged from the simulator"
+        );
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_bytes() {
+    let (sys, map) = system();
+    let adv = adversary(29);
+    let rounds = Round(300);
+    let metric = UniformMetric::new(sys.shards);
+    let faults = FaultPlan::default();
+    let bcfg = BdsConfig::default();
+    for kind in epoch_hosted_kinds() {
+        let fingerprints: Vec<String> = [1, sys.shards, sys.shards * 2 + 1]
+            .into_iter()
+            .map(|workers| {
+                let out = run_net_sched(
+                    &sys, &map, &adv, rounds, &metric, bcfg, &faults, kind, workers,
+                );
+                report_fingerprint(&out.report)
+            })
+            .collect();
+        assert_eq!(
+            fingerprints[0], fingerprints[1],
+            "{kind}: 1 worker vs one-per-shard"
+        );
+        assert_eq!(
+            fingerprints[1], fingerprints[2],
+            "{kind}: one-per-shard vs oversubscribed"
+        );
+    }
+}

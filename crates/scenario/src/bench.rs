@@ -324,7 +324,7 @@ impl MicroFixture {
 }
 
 /// The checked-in scenarios benchmarked end-to-end.
-const SCENARIO_FIXTURES: &[&str] = &["smoke", "dos_burst", "hotspot_skew"];
+const SCENARIO_FIXTURES: &[&str] = &["smoke", "dos_burst", "hotspot_skew", "zoo_quick"];
 
 /// Runs every selected fixture and returns the results in fixture order.
 ///

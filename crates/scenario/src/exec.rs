@@ -9,9 +9,10 @@
 
 use crate::spec::JobSpec;
 use adversary::Adversary;
-use runtime::{run_net_bds, run_net_fds, EngineKind};
+use runtime::{run_net_fds, run_net_sched, EngineKind};
 use schedulers::baseline::{run_fcfs, FcfsConfig};
-use schedulers::bds::{run_bds_with_metric, BdsConfig};
+use schedulers::bds::{BdsConfig, BdsSim};
+use schedulers::driver::drive;
 use schedulers::fds::{run_fds, FdsConfig, FdsSim};
 use schedulers::history::check_cross_shard_order;
 use schedulers::{RunReport, SchedulerKind};
@@ -69,18 +70,6 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
     if spec.engine == EngineKind::Net {
         let faults = spec.fault_plan();
         let report = match spec.scheduler {
-            SchedulerKind::Bds => {
-                run_net_bds(
-                    &sys,
-                    &map,
-                    &adv,
-                    rounds,
-                    metric.as_ref(),
-                    bds_config(spec),
-                    &faults,
-                )
-                .report
-            }
             SchedulerKind::Fds => {
                 run_net_fds(
                     &sys,
@@ -94,6 +83,21 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 .report
             }
             SchedulerKind::Fcfs => unreachable!("rejected at plan time"),
+            // BDS proper and every zoo policy share the epoch host.
+            kind => {
+                run_net_sched(
+                    &sys,
+                    &map,
+                    &adv,
+                    rounds,
+                    metric.as_ref(),
+                    bds_config(spec),
+                    &faults,
+                    kind,
+                    spec.shards,
+                )
+                .report
+            }
         };
         return JobOutcome {
             spec: spec.clone(),
@@ -102,13 +106,6 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
         };
     }
     let (report, violations) = match spec.scheduler {
-        SchedulerKind::Bds => {
-            let bcfg = bds_config(spec);
-            (
-                run_bds_with_metric(&sys, &map, &adv, rounds, metric.as_ref(), bcfg),
-                None,
-            )
-        }
         SchedulerKind::Fds => {
             let fcfg = fds_config(spec);
             if spec.check_order {
@@ -138,6 +135,18 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 respect_capacity: spec.respect_capacity,
             };
             (run_fcfs(&sys, &map, &adv, rounds, fcfg), None)
+        }
+        // BDS proper and every zoo policy share the epoch host; the
+        // factory is the single registration point (`run_bds_with_metric`
+        // is exactly `with_policy` + the Bds coloring policy).
+        kind => {
+            let bcfg = bds_config(spec);
+            let policy = kind
+                .epoch_policy(bcfg.coloring, sys.accounts, sys.shards)
+                .expect("non-policy kinds have explicit arms above");
+            let metric_ref = metric.as_ref();
+            let sim = BdsSim::with_policy(&sys, &map, bcfg, metric_ref, policy);
+            (drive(sim, &sys, &map, &adv, rounds), None)
         }
     };
     JobOutcome {

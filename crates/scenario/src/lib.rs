@@ -38,7 +38,7 @@
 //! # Base section: scalar `key = value` assignments.
 //! name        = fig2-quick          # required
 //! description = BDS on the uniform model
-//! scheduler   = bds                 # bds | fds | fcfs
+//! scheduler   = bds                 # bds | fds | fcfs | edf | fp | ws | spec
 //! metric      = uniform             # uniform | line | ring | grid:WxH
 //! shards      = 64
 //! k           = 8
@@ -59,7 +59,7 @@
 //! |---|---|---|
 //! | `name` | scenario name (base only) | — (required) |
 //! | `description` | free text (base only) | `""` |
-//! | `scheduler` | `bds` \| `fds` \| `fcfs` | `bds` |
+//! | `scheduler` | `bds` \| `fds` \| `fcfs` \| `edf` \| `fp` \| `ws` \| `spec` | `bds` |
 //! | `metric` | `uniform` \| `line` \| `ring` \| `grid:WxH` | `uniform` |
 //! | `shards` | `s ≥ 1` | `64` |
 //! | `accounts` | total shared accounts | = `shards` |

@@ -265,12 +265,12 @@ impl JobDraft {
                 self.nodes_per_shard, self.faulty_per_shard
             ));
         }
-        if self.engine == EngineKind::Net && self.scheduler == SchedulerKind::Fcfs {
-            return Err(
-                "engine = net supports scheduler = bds or fds (fcfs is an idealized \
-                 centralized baseline with no networked protocol)"
-                    .into(),
-            );
+        if self.engine == EngineKind::Net && !self.scheduler.supports_net() {
+            return Err(format!(
+                "engine = net does not support scheduler = {} (fcfs is an idealized \
+                 centralized baseline with no networked protocol)",
+                self.scheduler.name()
+            ));
         }
         if self.engine == EngineKind::Net && self.check_order {
             return Err("check-order is not supported with engine = net".into());

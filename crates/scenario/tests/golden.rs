@@ -51,13 +51,17 @@ fn flat_scenario_matches_golden_plan() {
 /// cp /tmp/golden/net-faults.csv crates/scenario/tests/golden/net_faults_rounds500.csv
 /// ```
 fn check_report_golden(name: &str, file: &str) {
-    check_report_golden_with(name, file, &[]);
+    check_report_golden_at(name, file, 500, &[]);
 }
 
 fn check_report_golden_with(name: &str, file: &str, extra: &[(String, String)]) {
+    check_report_golden_at(name, file, 500, extra);
+}
+
+fn check_report_golden_at(name: &str, file: &str, rounds: u64, extra: &[(String, String)]) {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     let scenario = Scenario::load(&dir.join("../../scenarios").join(name)).unwrap();
-    let mut overrides = vec![("rounds".to_string(), "500".to_string())];
+    let mut overrides = vec![("rounds".to_string(), rounds.to_string())];
     overrides.extend_from_slice(extra);
     let jobs = scenario.jobs_with(&overrides).unwrap();
     let outcomes = run_jobs(&jobs, 2, false);
@@ -65,7 +69,7 @@ fn check_report_golden_with(name: &str, file: &str, extra: &[(String, String)]) 
     let want = std::fs::read_to_string(dir.join("tests/golden").join(file)).unwrap();
     assert_eq!(
         got, want,
-        "report for `{name}` at 500 rounds drifted from its golden file \
+        "report for `{name}` at {rounds} rounds drifted from its golden file \
          (simulation behavior changed — see the docs above to regenerate)"
     );
 }
@@ -104,6 +108,24 @@ fn net_smoke_with_sim_engine_is_byte_identical() {
     );
 }
 
+/// The scheduler-zoo head-to-head: all six net-capable schedulers over
+/// both engines at 200 rounds. Pins two things at once — each zoo
+/// policy's exact numbers on the shared seeded workload, and the
+/// sim/net byte-equality of every row pair (the golden stores both
+/// engines' rows; the CSV has no engine column, so identical rows *are*
+/// the interchangeability proof). Regenerate like the 500-round goldens
+/// but with `--rounds 200`:
+///
+/// ```sh
+/// cargo run --release --bin blockshard -- run scenarios/zoo_quick.scenario \
+///     --rounds 200 --out /tmp/golden
+/// cp /tmp/golden/zoo-quick.csv crates/scenario/tests/golden/zoo_quick_rounds200.csv
+/// ```
+#[test]
+fn zoo_quick_report_matches_golden() {
+    check_report_golden_at("zoo_quick.scenario", "zoo_quick_rounds200.csv", 200, &[]);
+}
+
 #[test]
 fn every_checked_in_scenario_parses_and_plans() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
@@ -118,8 +140,37 @@ fn every_checked_in_scenario_parses_and_plans() {
         }
     }
     assert!(
-        count >= 16,
+        count >= 17,
         "expected the shipped scenario set, found {count}"
+    );
+}
+
+/// A typo'd scheduler in a scenario file is attributed to its exact
+/// file and line, and the error carries the full registry plus the
+/// did-you-mean suggestion — the whole debugging loop in one message.
+#[test]
+fn scheduler_typo_reports_file_line_and_suggestion() {
+    let err = Scenario::parse_str(
+        "name = typo-demo\nrounds = 100\nscheduler = bsd\n",
+        "zoo.scenario",
+    )
+    .expect_err("typo must not parse")
+    .to_string();
+    assert!(
+        err.starts_with("zoo.scenario:3:"),
+        "error must carry file:line attribution, got: {err}"
+    );
+    assert!(
+        err.contains("unknown scheduler `bsd`"),
+        "error must quote the typo, got: {err}"
+    );
+    assert!(
+        err.contains("bds, fds, fcfs, edf, fp, ws, spec"),
+        "error must list the full registry, got: {err}"
+    );
+    assert!(
+        err.contains("did you mean `bds`?"),
+        "error must suggest the near-miss, got: {err}"
     );
 }
 
@@ -131,6 +182,12 @@ fn malformed_inputs_fail_with_context() {
         ("name = x\n[grid]\nrho =\n", "no values"),
         ("name = x\nstrategy = zipf\n", "takes 1"),
         ("name = x\nscheduler = pbft\n", "unknown scheduler"),
+        ("name = x\nscheduler = bsd\n", "did you mean `bds`?"),
+        ("name = x\nscheduler = edff\n", "did you mean `edf`?"),
+        (
+            "name = x\nengine = net\nscheduler = fcfs\n",
+            "does not support scheduler = fcfs",
+        ),
         ("name = x\nmetric = torus\n", "unknown metric"),
         ("name = x\nrho = 1.5\n", "0 < rho <= 1"),
         ("name = x\njust-a-line\n", "expected `key = value`"),

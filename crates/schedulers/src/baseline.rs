@@ -10,8 +10,8 @@
 //! adversarial conflict patterns, which is the point of the comparison.
 
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
-use adversary::{Adversary, AdversaryConfig};
-use sharding_core::{AccountMap, Round, SystemConfig, Transaction};
+use adversary::AdversaryConfig;
+use sharding_core::{AccountMap, Round, SystemConfig, Transaction, TxnId};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
@@ -24,42 +24,66 @@ pub struct FcfsConfig {
     pub respect_capacity: bool,
 }
 
-/// Runs the FCFS baseline for `rounds` rounds.
-pub fn run_fcfs(
-    sys: &SystemConfig,
-    map: &AccountMap,
-    adv: &AdversaryConfig,
-    rounds: Round,
+/// The FCFS baseline as a steppable simulation (same [`step`]/[`finish`]
+/// shape as `BdsSim`/`FdsSim`, so the generic driver and the conformance
+/// harness can run it). Because FCFS commits greedily with zero protocol
+/// rounds, its commit log doubles as the harness's *oracle*: under zero
+/// contention every scheduler must commit exactly the set FCFS commits.
+///
+/// [`step`]: FcfsSim::step
+/// [`finish`]: FcfsSim::finish
+#[derive(Debug)]
+pub struct FcfsSim {
     fcfg: FcfsConfig,
-) -> RunReport {
-    sys.validate().expect("valid system config");
-    let mut adversary = Adversary::new(sys, map, *adv);
-    let mut pending: BTreeMap<sharding_core::TxnId, Transaction> = BTreeMap::new();
-    let mut collector = MetricsCollector::new(sys.shards);
-    let mut generated = 0u64;
+    pending: BTreeMap<TxnId, Transaction>,
+    collector: MetricsCollector,
+    committed_log: Vec<(Round, TxnId)>,
+    generated: u64,
+    now: Round,
+}
 
-    for r in 0..rounds.raw() {
-        let now = Round(r);
-        for t in adversary.generate(now) {
-            generated += 1;
-            pending.insert(t.id, t);
+impl FcfsSim {
+    /// Creates an FCFS simulation.
+    pub fn new(sys: &SystemConfig, fcfg: FcfsConfig) -> Self {
+        sys.validate().expect("valid system config");
+        FcfsSim {
+            fcfg,
+            pending: BTreeMap::new(),
+            collector: MetricsCollector::new(sys.shards),
+            committed_log: Vec::new(),
+            generated: 0,
+            now: Round::ZERO,
         }
-        // Greedy maximal conflict-free set in id (FIFO) order.
+    }
+
+    /// Commit log: (commit round, transaction id) in commit order.
+    pub fn committed_log(&self) -> &[(Round, TxnId)] {
+        &self.committed_log
+    }
+
+    /// Executes one round: inject `new_txns`, then greedily commit a
+    /// maximal conflict-free set in id (FIFO) order.
+    pub fn step(&mut self, new_txns: Vec<Transaction>) {
+        let now = self.now;
+        for t in new_txns {
+            self.generated += 1;
+            self.pending.insert(t.id, t);
+        }
         let mut locked_accounts: BTreeSet<sharding_core::AccountId> = BTreeSet::new();
         let mut busy_shards: BTreeSet<sharding_core::ShardId> = BTreeSet::new();
         let mut chosen = Vec::new();
-        for (id, t) in pending.iter() {
+        for (id, t) in self.pending.iter() {
             let account_free = t
                 .accesses()
                 .iter()
                 .all(|a| !locked_accounts.contains(&a.account));
             let shard_free =
-                !fcfg.respect_capacity || t.shards().all(|s| !busy_shards.contains(&s));
+                !self.fcfg.respect_capacity || t.shards().all(|s| !busy_shards.contains(&s));
             if account_free && shard_free {
                 for a in t.accesses() {
                     locked_accounts.insert(a.account);
                 }
-                if fcfg.respect_capacity {
+                if self.fcfg.respect_capacity {
                     for s in t.shards() {
                         busy_shards.insert(s);
                     }
@@ -68,23 +92,39 @@ pub fn run_fcfs(
             }
         }
         for id in chosen {
-            let t = pending.remove(&id).expect("chosen from pending");
-            collector.record_commit(t.generated, now);
+            let t = self.pending.remove(&id).expect("chosen from pending");
+            self.collector.record_commit(t.generated, now);
+            self.committed_log.push((now, id));
         }
-        collector.sample_pending(pending.len() as u64);
+        self.collector.sample_pending(self.pending.len() as u64);
+        self.now = self.now.next();
     }
 
-    let pending_at_end = pending.len() as u64;
-    collector.finish(
-        SchedulerKind::Fcfs,
-        rounds.raw(),
-        generated,
-        pending_at_end,
-        0,
-        0,
-        0,
-        0,
-    )
+    /// Finalizes the run into a [`RunReport`].
+    pub fn finish(self) -> RunReport {
+        let pending_at_end = self.pending.len() as u64;
+        self.collector.finish(
+            SchedulerKind::Fcfs,
+            self.now.raw(),
+            self.generated,
+            pending_at_end,
+            0,
+            0,
+            0,
+            0,
+        )
+    }
+}
+
+/// Runs the FCFS baseline for `rounds` rounds.
+pub fn run_fcfs(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    rounds: Round,
+    fcfg: FcfsConfig,
+) -> RunReport {
+    crate::driver::drive(FcfsSim::new(sys, fcfg), sys, map, adv, rounds)
 }
 
 #[cfg(test)]

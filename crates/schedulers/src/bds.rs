@@ -32,9 +32,10 @@
 //! delivery timing are measured, not assumed.
 
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
+use crate::scheduler::{ColoringPolicy, Scheduler};
 use adversary::AdversaryConfig;
 use cluster::{ShardMetric, UniformMetric};
-use conflict::{color_transactions_with, ColoringScratch, ColoringStrategy};
+use conflict::ColoringStrategy;
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::{LocalChain, Network, ShardLedger};
@@ -155,8 +156,10 @@ pub struct BdsSim {
     /// Undecided in-epoch transactions (sum over `epoch_txns`), likewise
     /// maintained incrementally.
     undecided: u64,
-    /// Reusable coloring working memory (see [`ColoringScratch`]).
-    coloring_scratch: ColoringScratch,
+    /// The epoch-planning policy the leader consults in phase 2. BDS
+    /// proper uses [`ColoringPolicy`]; any other [`Scheduler`] drops in
+    /// via [`BdsSim::with_policy`] and reuses the whole epoch host.
+    policy: Box<dyn Scheduler>,
     /// Per home shard: assignment list under construction during
     /// `phase2_color` (reused across epochs to avoid map churn).
     assign_scratch: Vec<Vec<(TxnId, u32)>>,
@@ -175,6 +178,23 @@ impl BdsSim {
         map: &AccountMap,
         bcfg: BdsConfig,
         metric: &dyn ShardMetric,
+    ) -> Self {
+        let policy = ColoringPolicy::new(SchedulerKind::Bds, bcfg.coloring, sys.accounts);
+        Self::with_policy(sys, map, bcfg, metric, Box::new(policy))
+    }
+
+    /// Creates the epoch host around an arbitrary epoch-planning
+    /// [`Scheduler`]. The whole BDS machinery (leader rotation, plan
+    /// broadcast, per-color four-round commit protocol) is reused; only
+    /// the phase-2 planning step runs `policy`, and the final report
+    /// carries `policy.kind()`. This is how the scheduler-zoo kinds run
+    /// — see [`SchedulerKind::epoch_policy`].
+    pub fn with_policy(
+        sys: &SystemConfig,
+        map: &AccountMap,
+        bcfg: BdsConfig,
+        metric: &dyn ShardMetric,
+        policy: Box<dyn Scheduler>,
     ) -> Self {
         sys.validate().expect("valid system config");
         assert_eq!(metric.shards(), sys.shards);
@@ -206,7 +226,7 @@ impl BdsSim {
             generated: 0,
             injected_pending: 0,
             undecided: 0,
-            coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+            policy,
             assign_scratch: vec![Vec::new(); s],
         }
     }
@@ -371,22 +391,27 @@ impl BdsSim {
         }
     }
 
-    /// Phase 2 (at the leader): build the conflict graph, color it,
-    /// broadcast the plan (per-shard assignments + color count) to every
-    /// shard, and fix the epoch length.
+    /// Phase 2 (at the leader): plan the epoch via the policy (BDS
+    /// proper: build the conflict graph and color it), broadcast the plan
+    /// (per-shard assignments + slot count) to every shard, and fix the
+    /// epoch length.
     fn phase2_color(&mut self) {
         let txns = std::mem::take(&mut self.leader_buffer);
         let num_colors = if txns.is_empty() {
             0
         } else {
-            let coloring =
-                color_transactions_with(self.bcfg.coloring, &txns, &mut self.coloring_scratch);
+            let plan = self.policy.plan_epoch(self.epoch, &txns);
+            debug_assert!(
+                plan.is_safe_for(&txns),
+                "{} violated the epoch-plan safety contract",
+                self.policy.kind()
+            );
             // Group assignments by home shard (dense per-shard lists,
             // reused across epochs).
             for (v, t) in txns.iter().enumerate() {
-                self.assign_scratch[t.home.index()].push((t.id, coloring.color(v)));
+                self.assign_scratch[t.home.index()].push((t.id, plan.slot(v)));
             }
-            coloring.num_colors()
+            plan.num_slots
         };
         if num_colors > 0 {
             // Broadcast in shard order; shards with no scheduled
@@ -529,11 +554,14 @@ impl BdsSim {
         }
     }
 
-    /// Finalizes the run into a [`RunReport`].
+    /// Finalizes the run into a [`RunReport`] (reported under the
+    /// policy's kind: `BDS` for the coloring policy, the zoo kind
+    /// otherwise).
     pub fn finish(self) -> RunReport {
         let pending = self.total_pending();
+        let kind = self.policy.kind();
         self.collector.finish(
-            SchedulerKind::Bds,
+            kind,
             self.now.raw(),
             self.generated,
             pending,

@@ -57,6 +57,15 @@ impl RoundDriver for crate::fds::FdsSim {
     }
 }
 
+impl RoundDriver for crate::baseline::FcfsSim {
+    fn step(&mut self, new_txns: Vec<Transaction>) {
+        crate::baseline::FcfsSim::step(self, new_txns);
+    }
+    fn finish(self) -> RunReport {
+        crate::baseline::FcfsSim::finish(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

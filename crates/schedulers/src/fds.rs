@@ -47,9 +47,10 @@
 //! per-period accounting is preserved.
 
 use crate::metrics::{MetricsCollector, RunReport, SchedulerKind};
+use crate::scheduler::{ColoringPolicy, EpochPlan, Scheduler};
 use adversary::AdversaryConfig;
 use cluster::{ClusterId, Hierarchy, LineMetric, ShardMetric};
-use conflict::{color_transactions_with, Coloring, ColoringScratch, ColoringStrategy};
+use conflict::ColoringStrategy;
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::{LocalChain, Network, ShardLedger};
@@ -155,13 +156,13 @@ struct LeaderState {
     incoming: Vec<Transaction>,
     /// Scheduled but not yet confirmed transactions.
     sch_ldr: BTreeMap<TxnId, LeaderEntry>,
-    /// Sorted txn ids of the batch behind `last_coloring`.
+    /// Sorted txn ids of the batch behind `last_plan`.
     last_ids: Vec<TxnId>,
-    /// Cached coloring of `last_ids`: a rescheduling epoch with no new
+    /// Cached epoch plan of `last_ids`: a rescheduling epoch with no new
     /// arrivals and no confirms recolors exactly the same batch, and the
-    /// coloring is a pure function of it — reuse instead of re-deriving
+    /// plan is a pure function of it — reuse instead of re-deriving
     /// the conflict structure.
-    last_coloring: Option<Coloring>,
+    last_plan: Option<EpochPlan>,
 }
 
 /// Schedule-queue state of one destination shard.
@@ -203,8 +204,10 @@ pub struct FdsSim {
     max_access_distance: u64,
     collector: MetricsCollector,
     committed_log: Vec<(Round, TxnId)>,
-    /// Reusable coloring working memory shared by every cluster leader.
-    coloring_scratch: ColoringScratch,
+    /// The shared coloring policy every cluster leader plans through
+    /// (the same [`ColoringPolicy`] code path BDS's leader uses, owning
+    /// the reusable coloring scratch).
+    policy: ColoringPolicy,
     /// Memoized [`Hierarchy::home_cluster`] per `(home, x)`: the hot
     /// path computes it twice per transaction (injection and leader
     /// arrival), and it is a pure function of the fixed hierarchy —
@@ -250,7 +253,7 @@ impl FdsSim {
             max_access_distance: 0,
             collector: MetricsCollector::new(s),
             committed_log: Vec::new(),
-            coloring_scratch: ColoringScratch::with_accounts(sys.accounts),
+            policy: ColoringPolicy::new(SchedulerKind::Fds, fcfg.coloring, sys.accounts),
             home_cluster_cache: vec![Vec::new(); s],
         }
     }
@@ -463,18 +466,17 @@ impl FdsSim {
         // rescheduling epoch with no arrivals and no confirms since the
         // last coloring reuses the cached result instead of rebuilding
         // the conflict structure from the access lists.
-        let unchanged = st.last_coloring.is_some()
+        let unchanged = st.last_plan.is_some()
             && st.last_ids.len() == targets.len()
             && st.last_ids.iter().zip(&targets).all(|(id, t)| *id == t.id);
-        let coloring = if unchanged {
-            st.last_coloring.clone().expect("checked above")
+        let plan = if unchanged {
+            st.last_plan.clone().expect("checked above")
         } else {
-            let c =
-                color_transactions_with(self.fcfg.coloring, &targets, &mut self.coloring_scratch);
+            let p = self.policy.plan_epoch(t_end, &targets);
             st.last_ids.clear();
             st.last_ids.extend(targets.iter().map(|t| t.id));
-            st.last_coloring = Some(c.clone());
-            c
+            st.last_plan = Some(p.clone());
+            p
         };
         let now = self.now;
         for (v, t) in targets.iter().enumerate() {
@@ -482,7 +484,7 @@ impl FdsSim {
                 t_end,
                 layer: cid.layer,
                 sublayer: cid.sublayer,
-                color: coloring.color(v),
+                color: plan.slot(v),
                 txn: t.id,
             };
             for sub in &t.subs {

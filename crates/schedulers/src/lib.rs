@@ -14,9 +14,21 @@
 //! * [`baseline`] — an idealized greedy FCFS lock scheduler used for
 //!   comparison in the experiment harness (it has no stability guarantee
 //!   under adversarial conflict patterns but minimal protocol overhead).
+//! * [`scheduler`] — the common [`Scheduler`] trait every epoch-planning
+//!   policy implements (observe arrivals → partition into conflict-free
+//!   slots → dispatch), with the safety/purity contract the conformance
+//!   harness enforces.
+//! * [`zoo`] — classical competitors behind that trait: EDF,
+//!   fixed-priority, work-stealing greedy, and a speculative scheduler
+//!   that colors a predicted conflict set and repairs mispredictions.
+//!   None carries a stability proof; all are safe and deterministic.
 //! * [`metrics`] — the per-run measurement report shared by all
 //!   schedulers: queue-size series, latency distribution, commit counts,
 //!   epoch statistics, and the stability verdict.
+//! * [`testkit`] — shared helpers for the conformance harness
+//!   (`tests/conformance.rs` here, `tests/conformance_net.rs` in
+//!   `runtime`): build any registered kind as a round-driven simulation,
+//!   fingerprint reports bit-exactly, generate workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,10 +39,14 @@ pub mod driver;
 pub mod fds;
 pub mod history;
 pub mod metrics;
+pub mod scheduler;
+pub mod testkit;
+pub mod zoo;
 
-pub use baseline::{run_fcfs, FcfsConfig};
+pub use baseline::{run_fcfs, FcfsConfig, FcfsSim};
 pub use bds::{run_bds, run_bds_with_metric, BdsConfig, BdsSim};
 pub use driver::{drive, RoundDriver};
 pub use fds::{run_fds, FdsConfig, FdsSim};
 pub use history::{check_cross_shard_order, OrderViolation};
 pub use metrics::{RunReport, SchedulerKind};
+pub use scheduler::{ColoringPolicy, EpochPlan, Scheduler};

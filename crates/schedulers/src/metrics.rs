@@ -8,7 +8,7 @@ use sharding_core::Round;
 use simnet::FaultCounters;
 
 /// Which scheduler produced a report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// Algorithm 1 (uniform model).
     Bds,
@@ -16,6 +16,53 @@ pub enum SchedulerKind {
     Fds,
     /// Greedy FCFS baseline.
     Fcfs,
+    /// Earliest-deadline-first epoch coloring (deadline = arrival round).
+    Edf,
+    /// Fixed-priority epoch coloring (priority = account hotness).
+    FixedPriority,
+    /// Work-stealing greedy epoch scheduler.
+    WorkSteal,
+    /// Speculative coloring against a predicted conflict set, repaired
+    /// against the true conflicts before dispatch.
+    Speculative,
+}
+
+impl SchedulerKind {
+    /// Every registered scheduler, in registration order. The scheduler
+    /// zoo (conformance harness, scenario docs, did-you-mean suggestions)
+    /// iterates this — adding an enum variant without registering it here
+    /// fails the conformance suite's exhaustiveness check.
+    pub const ALL: [SchedulerKind; 7] = [
+        SchedulerKind::Bds,
+        SchedulerKind::Fds,
+        SchedulerKind::Fcfs,
+        SchedulerKind::Edf,
+        SchedulerKind::FixedPriority,
+        SchedulerKind::WorkSteal,
+        SchedulerKind::Speculative,
+    ];
+
+    /// The canonical scenario-file spelling (what `FromStr` accepts and
+    /// the grammar docs advertise).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Bds => "bds",
+            SchedulerKind::Fds => "fds",
+            SchedulerKind::Fcfs => "fcfs",
+            SchedulerKind::Edf => "edf",
+            SchedulerKind::FixedPriority => "fp",
+            SchedulerKind::WorkSteal => "ws",
+            SchedulerKind::Speculative => "spec",
+        }
+    }
+
+    /// Whether the networked engine (`engine = net`) can run this
+    /// scheduler. Everything that plans epochs through the BDS epoch-host
+    /// protocol runs unmodified over the message plane; FCFS is an
+    /// idealized centralized baseline with no networked protocol at all.
+    pub fn supports_net(self) -> bool {
+        self != SchedulerKind::Fcfs
+    }
 }
 
 impl std::fmt::Display for SchedulerKind {
@@ -24,23 +71,61 @@ impl std::fmt::Display for SchedulerKind {
             SchedulerKind::Bds => write!(f, "BDS"),
             SchedulerKind::Fds => write!(f, "FDS"),
             SchedulerKind::Fcfs => write!(f, "FCFS"),
+            SchedulerKind::Edf => write!(f, "EDF"),
+            SchedulerKind::FixedPriority => write!(f, "FP"),
+            SchedulerKind::WorkSteal => write!(f, "WS"),
+            SchedulerKind::Speculative => write!(f, "SPEC"),
         }
     }
+}
+
+/// Levenshtein distance, for the did-you-mean suggestion. Inputs are
+/// scheduler-name-sized, so the quadratic table is irrelevant.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
 }
 
 impl std::str::FromStr for SchedulerKind {
     type Err = String;
 
-    /// Parses the scenario-file spelling, case-insensitively: `bds`,
-    /// `fds`, or `fcfs`.
+    /// Parses the scenario-file spelling, case-insensitively. Each zoo
+    /// scheduler also accepts its long name (`fixed-priority`,
+    /// `work-steal`, `speculative`). Unknown names get the registered
+    /// list plus a did-you-mean suggestion when one is close.
     fn from_str(s: &str) -> Result<Self, String> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
             "bds" => Ok(SchedulerKind::Bds),
             "fds" => Ok(SchedulerKind::Fds),
             "fcfs" => Ok(SchedulerKind::Fcfs),
-            other => Err(format!(
-                "unknown scheduler `{other}` (expected bds, fds, or fcfs)"
-            )),
+            "edf" => Ok(SchedulerKind::Edf),
+            "fp" | "fixed-priority" => Ok(SchedulerKind::FixedPriority),
+            "ws" | "work-steal" => Ok(SchedulerKind::WorkSteal),
+            "spec" | "speculative" => Ok(SchedulerKind::Speculative),
+            other => {
+                let known: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+                let suggestion = known
+                    .iter()
+                    .map(|name| (edit_distance(other, name), *name))
+                    .min()
+                    .filter(|(d, _)| *d <= 2)
+                    .map(|(_, name)| format!("; did you mean `{name}`?"))
+                    .unwrap_or_default();
+                Err(format!(
+                    "unknown scheduler `{other}` (expected one of {}{suggestion})",
+                    known.join(", ")
+                ))
+            }
         }
     }
 }
@@ -243,6 +328,58 @@ mod tests {
             SchedulerKind::Fcfs
         );
         assert!("pbft".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn every_registered_kind_round_trips_through_its_name() {
+        for k in SchedulerKind::ALL {
+            assert_eq!(k.name().parse::<SchedulerKind>().unwrap(), k);
+            assert_eq!(
+                k.name()
+                    .to_ascii_uppercase()
+                    .parse::<SchedulerKind>()
+                    .unwrap(),
+                k
+            );
+        }
+    }
+
+    #[test]
+    fn zoo_long_names_parse() {
+        assert_eq!(
+            "fixed-priority".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::FixedPriority
+        );
+        assert_eq!(
+            "work-steal".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::WorkSteal
+        );
+        assert_eq!(
+            "speculative".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Speculative
+        );
+    }
+
+    #[test]
+    fn unknown_scheduler_error_lists_kinds_and_suggests() {
+        // Near-miss: suggestion names the closest registered kind.
+        let err = "bsd".parse::<SchedulerKind>().unwrap_err();
+        assert!(err.contains("unknown scheduler"), "{err}");
+        assert!(err.contains("bds, fds, fcfs, edf, fp, ws, spec"), "{err}");
+        assert!(err.contains("did you mean `bds`?"), "{err}");
+        let err = "edff".parse::<SchedulerKind>().unwrap_err();
+        assert!(err.contains("did you mean `edf`?"), "{err}");
+        // Far miss: no suggestion, but the registry is still listed.
+        let err = "roundrobin".parse::<SchedulerKind>().unwrap_err();
+        assert!(err.contains("unknown scheduler"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn only_fcfs_lacks_net_support() {
+        for k in SchedulerKind::ALL {
+            assert_eq!(k.supports_net(), k != SchedulerKind::Fcfs, "{k}");
+        }
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The scheduler conformance harness — every registered
+//! [`SchedulerKind`] runs through the same safety gauntlet.
+//!
+//! A scheduler joins the zoo by registering in `SchedulerKind::ALL` and
+//! (for epoch-hosted policies) in `SchedulerKind::epoch_policy`; this
+//! suite is what that registration buys and costs. Per kind it checks:
+//!
+//! * **slot safety** — no two transactions committed in the same round
+//!   conflict (the account-level invariant the whole model rests on);
+//! * **cross-shard order** — the per-shard chains replay clean under
+//!   [`check_cross_shard_order`] (skipped for FCFS, which commits
+//!   centrally and keeps no chains);
+//! * **oracle equality** — under zero contention the committed set is
+//!   exactly the FCFS oracle's (a scheduler may be slow, never lossy);
+//! * **determinism** — identical inputs give bit-identical reports
+//!   (fingerprints include the float means as raw bits);
+//! * **plan contract** — property tests drive every epoch policy over
+//!   random batches and check safety, bounds, and purity of
+//!   [`Scheduler::plan_epoch`](schedulers::scheduler::Scheduler).
+//!
+//! The net-side half of the conformance story (sim/net byte-equality,
+//! worker-count independence) lives in `runtime/tests/conformance_net.rs`
+//! — the networked engine depends on this crate, so it cannot be tested
+//! from here.
+
+use proptest::prelude::*;
+use schedulers::history::check_cross_shard_order;
+use schedulers::testkit::{
+    adversary_batches, make_sim, report_fingerprint, small_system, wide_system,
+    zero_contention_batches,
+};
+use schedulers::SchedulerKind;
+use sharding_core::txn::TxnBuilder;
+use sharding_core::{AccountId, AccountMap, Round, SystemConfig, Transaction, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Empty rounds appended after the workload so in-flight epochs finish.
+const DRAIN_ROUNDS: usize = 200;
+
+/// Runs `kind` over pre-generated batches plus a drain tail, returning
+/// the sim (for logs/chains inspection) alongside every injected txn.
+fn run_kind(
+    kind: SchedulerKind,
+    sys: &SystemConfig,
+    map: &AccountMap,
+    batches: &[Vec<Transaction>],
+) -> (schedulers::testkit::AnySim, BTreeMap<TxnId, Transaction>) {
+    let mut sim = make_sim(kind, sys, map);
+    let mut all = BTreeMap::new();
+    for batch in batches {
+        for t in batch {
+            all.insert(t.id, t.clone());
+        }
+        sim.step(batch.clone());
+    }
+    for _ in 0..DRAIN_ROUNDS {
+        sim.step(Vec::new());
+    }
+    (sim, all)
+}
+
+/// The standard contended workload every kind replays: moderate rate,
+/// bursty, uniform-random over the 8-shard small system.
+fn contended(sys: &SystemConfig, map: &AccountMap) -> Vec<Vec<Transaction>> {
+    adversary_batches(sys, map, 0.2, 5, 11, 200)
+}
+
+#[test]
+fn no_committed_conflicting_pair_shares_a_round() {
+    let (sys, map) = small_system();
+    let batches = contended(&sys, &map);
+    for kind in SchedulerKind::ALL {
+        let (sim, all) = run_kind(kind, &sys, &map, &batches);
+        let mut by_round: BTreeMap<Round, Vec<TxnId>> = BTreeMap::new();
+        for &(round, id) in sim.committed_log() {
+            by_round.entry(round).or_default().push(id);
+        }
+        for (round, ids) in &by_round {
+            for i in 0..ids.len() {
+                for j in (i + 1)..ids.len() {
+                    let a = &all[&ids[i]];
+                    let b = &all[&ids[j]];
+                    assert!(
+                        !a.conflicts_with(b),
+                        "{kind}: {:?} and {:?} conflict yet both committed in {round:?}",
+                        a.id,
+                        b.id
+                    );
+                }
+            }
+        }
+        assert!(
+            !sim.committed_log().is_empty(),
+            "{kind}: vacuous run — nothing committed under the contended workload"
+        );
+    }
+}
+
+#[test]
+fn cross_shard_order_replays_clean() {
+    let (sys, map) = small_system();
+    let batches = contended(&sys, &map);
+    for kind in SchedulerKind::ALL {
+        let (sim, all) = run_kind(kind, &sys, &map, &batches);
+        let Some(chains) = sim.chains() else {
+            assert_eq!(kind, SchedulerKind::Fcfs, "only FCFS is chainless");
+            continue;
+        };
+        let violations = check_cross_shard_order(chains, &all);
+        assert!(
+            violations.is_empty(),
+            "{kind}: {} cross-shard order violations, first: {:?}",
+            violations.len(),
+            violations.first()
+        );
+    }
+}
+
+#[test]
+fn zero_contention_commit_set_matches_the_fcfs_oracle() {
+    let (sys, map) = wide_system(64);
+    let batches = zero_contention_batches(&sys, &map, 32);
+    let (oracle, _) = run_kind(SchedulerKind::Fcfs, &sys, &map, &batches);
+    let oracle_set: BTreeSet<TxnId> = oracle.committed_log().iter().map(|&(_, id)| id).collect();
+    assert_eq!(oracle_set.len(), 32, "oracle commits the whole workload");
+    for kind in SchedulerKind::ALL {
+        let (sim, _) = run_kind(kind, &sys, &map, &batches);
+        let set: BTreeSet<TxnId> = sim.committed_log().iter().map(|&(_, id)| id).collect();
+        assert_eq!(
+            set, oracle_set,
+            "{kind}: zero-contention commit set differs from the FCFS oracle"
+        );
+    }
+}
+
+#[test]
+fn identical_inputs_give_bit_identical_reports() {
+    let (sys, map) = small_system();
+    let batches = contended(&sys, &map);
+    for kind in SchedulerKind::ALL {
+        let (a, _) = run_kind(kind, &sys, &map, &batches);
+        let (b, _) = run_kind(kind, &sys, &map, &batches);
+        assert_eq!(
+            report_fingerprint(&a.finish()),
+            report_fingerprint(&b.finish()),
+            "{kind}: two identical runs disagree bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn every_report_carries_its_own_kind() {
+    let (sys, map) = small_system();
+    for kind in SchedulerKind::ALL {
+        let (sim, _) = run_kind(kind, &sys, &map, &contended(&sys, &map));
+        assert_eq!(sim.finish().scheduler, kind);
+    }
+}
+
+/// Deterministic batch of `n` transactions over 16 accounts on the
+/// 8-shard system, derived from `seed` by a splitmix-style stream —
+/// dense enough in account space that conflicts are common.
+fn random_batch(n: usize, seed: u64, map: &AccountMap) -> Vec<Transaction> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|i| {
+            let k = 1 + (next() % 3) as usize;
+            let accounts: BTreeSet<AccountId> = (0..k).map(|_| AccountId(next() % 16)).collect();
+            let first = *accounts.iter().next().expect("k >= 1");
+            let mut b = TxnBuilder::new(
+                TxnId(i as u64),
+                map.owner_unchecked(first),
+                Round(next() % 4),
+                map,
+            );
+            for a in accounts {
+                b = b.update(a, 1);
+            }
+            b.build().expect("<= 3 accounts <= k_max shards")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every registered epoch policy upholds the full `plan_epoch`
+    /// contract on random batches: safety + bounds (via `is_safe_for`)
+    /// and purity (a fresh instance replans the same batch identically).
+    #[test]
+    fn epoch_plans_satisfy_the_contract_on_random_batches(
+        n in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let (sys, map) = wide_system(16);
+        let batch = random_batch(n, seed, &map);
+        let epoch = seed % 17;
+        for kind in SchedulerKind::ALL {
+            let Some(mut policy) =
+                kind.epoch_policy(conflict::ColoringStrategy::Greedy, sys.accounts, sys.shards)
+            else {
+                continue;
+            };
+            let plan = policy.plan_epoch(epoch, &batch);
+            prop_assert!(
+                plan.is_safe_for(&batch),
+                "{} broke safety/bounds on n={} seed={}", kind, n, seed
+            );
+            let mut fresh = kind
+                .epoch_policy(conflict::ColoringStrategy::Greedy, sys.accounts, sys.shards)
+                .expect("same kind");
+            prop_assert_eq!(
+                plan,
+                fresh.plan_epoch(epoch, &batch),
+                "{} is not a pure function of (epoch, batch)", kind
+            );
+        }
+    }
+
+    /// Replanning through one long-lived policy instance matches fresh
+    /// instances batch-for-batch: no hidden cross-epoch state.
+    #[test]
+    fn policies_carry_no_state_across_epochs(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(0usize..12, 1..5),
+    ) {
+        let (sys, map) = wide_system(16);
+        for kind in SchedulerKind::ALL {
+            let Some(mut long_lived) =
+                kind.epoch_policy(conflict::ColoringStrategy::Greedy, sys.accounts, sys.shards)
+            else {
+                continue;
+            };
+            for (e, &n) in sizes.iter().enumerate() {
+                let batch = random_batch(n, seed.wrapping_add(e as u64), &map);
+                let mut fresh = kind
+                    .epoch_policy(conflict::ColoringStrategy::Greedy, sys.accounts, sys.shards)
+                    .expect("same kind");
+                prop_assert_eq!(
+                    long_lived.plan_epoch(e as u64, &batch),
+                    fresh.plan_epoch(e as u64, &batch),
+                    "{} leaked state into epoch {}", kind, e
+                );
+            }
+        }
+    }
+}
