@@ -7,7 +7,7 @@ use rand::seq::SliceRandom;
 use rand::Rng as _;
 use serde::{Deserialize, Serialize};
 use sharding_core::rngutil::{seeded_rng, split_seed, Rng};
-use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+use sharding_core::{AccountId, AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 
 /// How an admitted shard access set becomes a concrete transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -188,36 +188,65 @@ impl Adversary {
                     .unwrap_or_else(|| panic!("shard {s} owns no accounts"))
             })
             .collect();
-        let mut builder = sharding_core::txn::TxnBuilder::new(id, home, round, &self.map);
-        match self.acfg.shape {
-            WorkloadShape::WriteOnly => {
-                for &a in &accounts {
-                    builder = builder.update(a, 1);
-                }
+        shape_txn(
+            &self.map,
+            self.acfg.shape,
+            &mut self.rng,
+            id,
+            home,
+            round,
+            &accounts,
+        )
+    }
+}
+
+/// Builds a transaction over `accounts` shaped per [`WorkloadShape`] —
+/// the shaping step shared by the per-round [`Adversary`] and the
+/// streaming firehose sources ([`crate::stream`]), so both emit
+/// byte-identical transaction bodies for the same account choices.
+///
+/// Consumes RNG draws only for the `Transfers` amount, after the caller
+/// has picked the accounts (this ordering is load-bearing: it keeps the
+/// legacy generator's ChaCha stream — and therefore every golden report —
+/// unchanged).
+pub(crate) fn shape_txn(
+    map: &AccountMap,
+    shape: WorkloadShape,
+    rng: &mut Rng,
+    id: TxnId,
+    home: ShardId,
+    round: Round,
+    accounts: &[AccountId],
+) -> Transaction {
+    let mut builder = sharding_core::txn::TxnBuilder::new(id, home, round, map);
+    match shape {
+        WorkloadShape::WriteOnly => {
+            for &a in accounts {
+                builder = builder.update(a, 1);
             }
-            WorkloadShape::Transfers { amount_max } => {
-                let amount = self.rng.gen_range(1..=amount_max.max(1));
-                let payer = accounts[0];
-                if accounts.len() == 1 {
-                    // Single-shard: a deposit.
-                    builder = builder.update(payer, amount as i64);
-                } else {
-                    let share = (amount / (accounts.len() as u64 - 1)).max(1);
-                    builder = builder.check(payer, amount).update(payer, -(amount as i64));
-                    for &a in &accounts[1..] {
-                        builder = builder.update(a, share as i64);
-                    }
-                }
-            }
-            WorkloadShape::ReadMostly => {
-                builder = builder.update(accounts[0], 1);
+        }
+        WorkloadShape::Transfers { amount_max } => {
+            let amount = rng.gen_range(1..=amount_max.max(1));
+            let payer = accounts[0];
+            if accounts.len() == 1 {
+                // Single-shard: a deposit.
+                builder = builder.update(payer, amount as i64);
+            } else {
+                let share = (amount / (accounts.len() as u64 - 1)).max(1);
+                builder = builder.check(payer, amount).update(payer, -(amount as i64));
                 for &a in &accounts[1..] {
-                    builder = builder.check(a, 0);
+                    builder = builder.update(a, share as i64);
                 }
             }
         }
-        builder.build().expect("non-empty admitted access set")
+        WorkloadShape::ReadMostly => {
+            builder = builder.update(accounts[0], 1);
+            for &a in &accounts[1..] {
+                builder = builder.check(a, 0);
+            }
+        }
     }
+    builder.build().expect("non-empty admitted access set")
 }
 
 #[cfg(test)]

@@ -19,6 +19,12 @@
 //!   hot-shard pressure, and periodic burst trains.
 //! * [`generator`] — the [`Adversary`] driver that turns strategy proposals
 //!   into admitted [`Transaction`]s with globally unique ids.
+//! * [`mempool`] — the streaming ingestion plane: a bounded per-home-shard
+//!   priority mempool, the [`RoundSource`] seam the execution engines pull
+//!   batches through, and the [`IngestPipeline`] that puts the leaky
+//!   buckets on the *live* admission path.
+//! * [`stream`] — firehose producers that stream Zipf and
+//!   shifting-hotspot account distributions lazily over millions of ids.
 //! * [`validate`] — an `O(T·s)` sliding-window validator that checks a
 //!   recorded trace against `ρt + b` over *every* window, used by tests and
 //!   by downstream consumers that want end-to-end assurance.
@@ -30,10 +36,14 @@
 
 pub mod budget;
 pub mod generator;
+pub mod mempool;
 pub mod strategy;
+pub mod stream;
 pub mod validate;
 
 pub use budget::ShardBudgets;
 pub use generator::{Adversary, AdversaryConfig, WorkloadShape};
-pub use strategy::StrategyKind;
+pub use mempool::{IngestPipeline, Mempool, MempoolStats, RoundSource};
+pub use strategy::{AliasTable, StrategyKind};
+pub use stream::{saturation_offered, StreamKind, StreamSource};
 pub use validate::{tightest_burstiness, validate_trace, TraceRecorder};

@@ -1,0 +1,408 @@
+//! The bounded, sharded mempool and the [`RoundSource`] ingestion
+//! abstraction — the paper's "transactions simply arrive each round"
+//! assumption made concrete as a producer/consumer plane.
+//!
+//! # Layout
+//!
+//! The pool keeps one *lane* per home shard. A lane is a bucketed
+//! priority index: 256 fee buckets, each an ordered map from [`TxnId`]
+//! to the pending transaction, plus a 4-word occupancy bitmap so the
+//! highest/lowest non-empty bucket is found in a handful of bit
+//! operations. Priority order is **(fee descending, id ascending)** —
+//! higher fees first, FIFO within a fee class (ids are assigned in
+//! generation order).
+//!
+//! # Backpressure
+//!
+//! Each lane is bounded by `capacity`. An insert into a full lane
+//! compares the newcomer against the lane's current minimum under the
+//! priority order: whichever loses is discarded and counted in
+//! [`MempoolStats::evicted`]. A full lane therefore always retains
+//! exactly the top-`capacity` transactions offered to it.
+//!
+//! # Why drain order is interleaving-independent
+//!
+//! Both the retained set and the drain order are functions of the lane's
+//! *contents as a multiset*, never of arrival order: `(fee, id)` is a
+//! total order (ids are unique), a full lane keeps its top-`capacity`
+//! elements under that order regardless of the sequence of inserts that
+//! produced it, and each insert-while-full discards exactly one loser,
+//! so the eviction count depends only on how many offers the lane saw.
+//! Draining pops maxima of that order. Any producer interleaving of the
+//! same offered transactions therefore yields byte-identical drains and
+//! stats — the property `tests/mempool_props.rs` pins with arbitrary
+//! permutations, and the reason the ingestion plane preserves the
+//! engine's thread-count and sim/net byte-equality guarantees.
+//!
+//! # Admission
+//!
+//! [`IngestPipeline`] composes a streaming producer
+//! ([`StreamSource`](crate::stream::StreamSource)), the pool, and the
+//! live `(ρ, b)` budgets ([`ShardBudgets`]): each round it ingests the
+//! round's offers, ticks the buckets, and drains in priority order,
+//! charging every candidate's access set against the buckets. The first
+//! candidate a lane cannot afford blocks the lane for the round
+//! (head-of-line deferral, counted in [`MempoolStats::deferred`]) — so
+//! the emission is `(ρ, b)`-conforming *by construction*, exactly like
+//! the legacy [`Adversary`] path, but over transactions that survived
+//! fee-priority backpressure instead of a fixed proposal order.
+
+use crate::budget::ShardBudgets;
+use crate::generator::Adversary;
+use serde::{Deserialize, Serialize};
+use sharding_core::{Round, ShardId, Transaction, TxnId};
+use std::collections::BTreeMap;
+
+/// Number of fee classes (`u8` fees map 1:1 onto buckets).
+const FEE_BUCKETS: usize = 256;
+
+/// Aggregate ingestion counters surfaced as report columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MempoolStats {
+    /// Maximum total pool depth observed (sampled each round after
+    /// ingest, before the drain).
+    pub depth_max: u64,
+    /// Transactions drained into the schedulers after passing `(ρ, b)`
+    /// admission.
+    pub admitted: u64,
+    /// Head-of-line deferral events: rounds × lanes where the next
+    /// candidate's budget charge failed and the lane stalled.
+    pub deferred: u64,
+    /// Transactions discarded by full-lane backpressure (the loser of
+    /// each insert into a full lane).
+    pub evicted: u64,
+}
+
+/// A per-round supplier of injected transactions — the seam between the
+/// execution engines and workload generation. The legacy [`Adversary`]
+/// *is* a source (its `generate` pulled inline each round); the
+/// [`IngestPipeline`] is the streaming one.
+///
+/// Engines must call [`next_round`](RoundSource::next_round) exactly once
+/// per round, in round order — sources are stateful streams.
+pub trait RoundSource {
+    /// The batch injected during `round`.
+    fn next_round(&mut self, round: Round) -> Vec<Transaction>;
+
+    /// Ingestion counters, when this source has a mempool in front.
+    fn stats(&self) -> Option<MempoolStats> {
+        None
+    }
+}
+
+impl RoundSource for Adversary {
+    fn next_round(&mut self, round: Round) -> Vec<Transaction> {
+        self.generate(round)
+    }
+}
+
+/// One home shard's bounded priority lane.
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    /// `buckets[fee]` holds the lane's pending transactions of that fee,
+    /// ordered by id (FIFO within the fee class).
+    buckets: Vec<BTreeMap<TxnId, Transaction>>,
+    /// Bit `fee` set ⇔ `buckets[fee]` is non-empty.
+    occupied: [u64; 4],
+    len: usize,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            buckets: vec![BTreeMap::new(); FEE_BUCKETS],
+            occupied: [0; 4],
+            len: 0,
+        }
+    }
+
+    /// Highest non-empty fee bucket.
+    fn highest(&self) -> Option<usize> {
+        for w in (0..4).rev() {
+            if self.occupied[w] != 0 {
+                return Some(w * 64 + 63 - self.occupied[w].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Lowest non-empty fee bucket.
+    fn lowest(&self) -> Option<usize> {
+        for w in 0..4 {
+            if self.occupied[w] != 0 {
+                return Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn put(&mut self, fee: u8, txn: Transaction) {
+        let b = fee as usize;
+        self.buckets[b].insert(txn.id, txn);
+        self.occupied[b / 64] |= 1 << (b % 64);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, fee: usize, id: TxnId) -> Transaction {
+        let txn = self.buckets[fee].remove(&id).expect("resident txn");
+        if self.buckets[fee].is_empty() {
+            self.occupied[fee / 64] &= !(1 << (fee % 64));
+        }
+        self.len -= 1;
+        txn
+    }
+
+    /// The lane's maximum under (fee desc, id asc), without removing it.
+    fn peek_max(&self) -> Option<(usize, &Transaction)> {
+        let fee = self.highest()?;
+        let (_, txn) = self.buckets[fee].iter().next()?;
+        Some((fee, txn))
+    }
+
+    /// The lane's minimum under the same order: lowest fee, largest id.
+    fn peek_min(&self) -> Option<(usize, TxnId)> {
+        let fee = self.lowest()?;
+        let (&id, _) = self.buckets[fee].iter().next_back()?;
+        Some((fee, id))
+    }
+}
+
+/// The bounded per-home-shard mempool. See the [module docs](self) for
+/// layout, backpressure, and the interleaving-independence argument.
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    lanes: Vec<Lane>,
+    capacity: usize,
+    stats: MempoolStats,
+    /// Scratch for a candidate's accessed-shard set during the drain.
+    shard_scratch: Vec<ShardId>,
+}
+
+impl Mempool {
+    /// A pool with one lane per home shard, each bounded by `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or `capacity == 0`.
+    pub fn new(shards: usize, capacity: usize) -> Mempool {
+        assert!(shards > 0, "mempool needs at least one lane");
+        assert!(capacity > 0, "lane capacity must be positive");
+        Mempool {
+            lanes: (0..shards).map(|_| Lane::new()).collect(),
+            capacity,
+            stats: MempoolStats::default(),
+            shard_scratch: Vec::new(),
+        }
+    }
+
+    /// Offers `txn` at `fee` to its home-shard lane. A full lane keeps
+    /// its top-`capacity` under (fee desc, id asc); the loser is counted
+    /// as evicted.
+    pub fn offer(&mut self, fee: u8, txn: Transaction) {
+        let lane = &mut self.lanes[txn.home.index()];
+        if lane.len < self.capacity {
+            lane.put(fee, txn);
+            return;
+        }
+        self.stats.evicted += 1;
+        let (min_fee, min_id) = lane.peek_min().expect("full lane is non-empty");
+        let incoming_wins =
+            (fee as usize) > min_fee || ((fee as usize) == min_fee && txn.id < min_id);
+        if incoming_wins {
+            lane.remove(min_fee, min_id);
+            lane.put(fee, txn);
+        }
+    }
+
+    /// Total transactions resident across all lanes.
+    pub fn depth(&self) -> usize {
+        self.lanes.iter().map(|l| l.len).sum()
+    }
+
+    /// Records the current depth into the high-water mark. Call once per
+    /// round after ingesting the round's offers.
+    pub fn note_depth(&mut self) {
+        self.stats.depth_max = self.stats.depth_max.max(self.depth() as u64);
+    }
+
+    /// Drains this round's admitted batch: lanes are visited starting at
+    /// `round % lanes` (rotating fairness), each popped in priority order
+    /// while `budgets` affords the candidate's access set. The first
+    /// unaffordable candidate stalls its lane for the round (head-of-line
+    /// deferral).
+    pub fn drain(&mut self, budgets: &mut ShardBudgets, round: Round) -> Vec<Transaction> {
+        let n = self.lanes.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let lane = &mut self.lanes[(round.0 as usize + i) % n];
+            while let Some((fee, txn)) = lane.peek_max() {
+                self.shard_scratch.clear();
+                self.shard_scratch.extend(txn.shards());
+                if !budgets.try_charge(&self.shard_scratch) {
+                    self.stats.deferred += 1;
+                    break;
+                }
+                let id = txn.id;
+                out.push(lane.remove(fee, id));
+            }
+        }
+        self.stats.admitted += out.len() as u64;
+        out
+    }
+
+    /// Ingestion counters so far.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+}
+
+/// The streaming ingestion plane: firehose producer → bounded mempool →
+/// live `(ρ, b)` admission. Implements [`RoundSource`], so both the
+/// simulator hosts and the networked executor can pull from it exactly
+/// where they pulled from the legacy generator.
+pub struct IngestPipeline {
+    source: crate::stream::StreamSource,
+    pool: Mempool,
+    budgets: ShardBudgets,
+}
+
+impl IngestPipeline {
+    /// Composes `source` with a pool of per-lane bound `capacity` and
+    /// fresh `(ρ, b)` buckets matching the source's configuration.
+    pub fn new(source: crate::stream::StreamSource, capacity: usize) -> IngestPipeline {
+        let (shards, rho, b) = source.budget_params();
+        IngestPipeline {
+            pool: Mempool::new(shards, capacity),
+            budgets: ShardBudgets::new(shards, rho, b),
+            source,
+        }
+    }
+
+    /// Distinct account ids streamed by the producer so far.
+    pub fn distinct_accounts(&self) -> u64 {
+        self.source.distinct_accounts()
+    }
+}
+
+impl RoundSource for IngestPipeline {
+    fn next_round(&mut self, round: Round) -> Vec<Transaction> {
+        for (fee, txn) in self.source.offer_round(round) {
+            self.pool.offer(fee, txn);
+        }
+        self.pool.note_depth();
+        self.budgets.tick();
+        self.pool.drain(&mut self.budgets, round)
+    }
+
+    fn stats(&self) -> Option<MempoolStats> {
+        Some(self.pool.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharding_core::{AccountMap, SystemConfig};
+
+    fn tiny() -> (SystemConfig, AccountMap) {
+        let sys = SystemConfig {
+            shards: 4,
+            accounts: 16,
+            k_max: 3,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+        };
+        let map = AccountMap::round_robin(&sys);
+        (sys, map)
+    }
+
+    fn txn(id: u64, home: u32, map: &AccountMap) -> Transaction {
+        Transaction::writing_shards(TxnId(id), ShardId(home), Round::ZERO, map, &[ShardId(home)])
+            .unwrap()
+    }
+
+    #[test]
+    fn pops_by_fee_then_fifo_within_fee() {
+        let (_, map) = tiny();
+        let mut pool = Mempool::new(4, 8);
+        pool.offer(1, txn(0, 2, &map));
+        pool.offer(9, txn(1, 2, &map));
+        pool.offer(9, txn(2, 2, &map));
+        pool.offer(3, txn(3, 2, &map));
+        let mut budgets = ShardBudgets::new(4, 1.0, 100);
+        budgets.tick();
+        let drained = pool.drain(&mut budgets, Round::ZERO);
+        let ids: Vec<u64> = drained.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 0]);
+        assert_eq!(pool.stats().admitted, 4);
+        assert_eq!(pool.depth(), 0);
+    }
+
+    #[test]
+    fn full_lane_keeps_top_capacity_and_counts_evictions() {
+        let (_, map) = tiny();
+        let mut pool = Mempool::new(4, 2);
+        pool.offer(5, txn(0, 1, &map));
+        pool.offer(1, txn(1, 1, &map));
+        pool.offer(7, txn(2, 1, &map)); // evicts fee-1 id 1
+        pool.offer(0, txn(3, 1, &map)); // loses outright
+        assert_eq!(pool.depth(), 2);
+        assert_eq!(pool.stats().evicted, 2);
+        let mut budgets = ShardBudgets::new(4, 1.0, 100);
+        budgets.tick();
+        let ids: Vec<u64> = pool
+            .drain(&mut budgets, Round::ZERO)
+            .iter()
+            .map(|t| t.id.0)
+            .collect();
+        assert_eq!(ids, vec![2, 0]);
+    }
+
+    #[test]
+    fn budget_exhaustion_defers_head_of_line() {
+        let (_, map) = tiny();
+        let mut pool = Mempool::new(4, 8);
+        for i in 0..5 {
+            pool.offer(4, txn(i, 0, &map));
+        }
+        // b = 2, ρ small: exactly two charges fit in the first round.
+        let mut budgets = ShardBudgets::new(4, 0.01, 2);
+        budgets.tick();
+        let drained = pool.drain(&mut budgets, Round::ZERO);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(pool.stats().admitted, 2);
+        assert_eq!(pool.stats().deferred, 1);
+        assert_eq!(pool.depth(), 3);
+    }
+
+    #[test]
+    fn depth_high_water_tracks_ingest() {
+        let (_, map) = tiny();
+        let mut pool = Mempool::new(4, 8);
+        pool.offer(1, txn(0, 0, &map));
+        pool.offer(1, txn(1, 3, &map));
+        pool.note_depth();
+        assert_eq!(pool.stats().depth_max, 2);
+        let mut budgets = ShardBudgets::new(4, 1.0, 100);
+        budgets.tick();
+        pool.drain(&mut budgets, Round::ZERO);
+        pool.note_depth();
+        assert_eq!(pool.stats().depth_max, 2, "high water survives the drain");
+    }
+
+    #[test]
+    fn drain_rotates_lane_start_by_round() {
+        let (_, map) = tiny();
+        let mut pool = Mempool::new(4, 8);
+        pool.offer(5, txn(0, 0, &map));
+        pool.offer(5, txn(1, 1, &map));
+        let mut budgets = ShardBudgets::new(4, 1.0, 100);
+        budgets.tick();
+        let ids: Vec<u64> = pool
+            .drain(&mut budgets, Round(1))
+            .iter()
+            .map(|t| t.id.0)
+            .collect();
+        assert_eq!(ids, vec![1, 0], "round 1 starts at lane 1");
+    }
+}

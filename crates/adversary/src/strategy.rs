@@ -376,6 +376,121 @@ pub(crate) fn zipf_shard_set(cfg: &SystemConfig, cdf: &[f64], rng: &mut Rng) -> 
     set
 }
 
+/// An O(1)-per-draw sampler over arbitrary positive weights, built with
+/// Vose's alias method — the crate-private `zipf_cdf` cached-CDF sampler generalized
+/// from shard counts (dozens) to account universes (millions).
+///
+/// The CDF sampler pays `O(log n)` per draw and stays exact; the alias
+/// table pays `O(n)` once at build time (two `Vec`s, ~12 bytes/entry) and
+/// then a single uniform from the ChaCha stream per draw: the uniform is
+/// scaled by `n`, its integer part picks a column, and its fractional
+/// part chooses between the column's own index and its alias. Per-index
+/// probability masses are preserved exactly (up to float rounding) — see
+/// [`AliasTable::masses`], which the property tests reconcile against the
+/// CDF oracle.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Per-column acceptance threshold for the column's own index.
+    prob: Vec<f64>,
+    /// Per-column fallback index receiving the column's residual mass.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from raw (unnormalized) positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty, longer than `u32::MAX`, or its sum
+    /// is not strictly positive and finite.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table over an empty universe");
+        assert!(weights.len() <= u32::MAX as usize, "universe exceeds u32");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must sum to a positive finite value"
+        );
+        // Vose's method: scale every weight to mean 1, then repeatedly pair an
+        // under-full column with an over-full one so every column holds
+        // exactly unit mass split between its own index and one alias.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // The large column donates what the small one lacks.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Float rounding can strand residents of either stack; they hold
+        // (numerically) unit mass, so they alias to themselves.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Builds the Zipf law `P(i) ∝ 1/(i+1)^exponent` over `n` indices.
+    pub fn zipf(n: usize, exponent: f64) -> AliasTable {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
+        AliasTable::new(&weights)
+    }
+
+    /// Number of indices in the sampled universe.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index, consuming exactly one uniform from `rng`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.gen();
+        let scaled = u * self.prob.len() as f64;
+        let col = (scaled as usize).min(self.prob.len() - 1);
+        if scaled - (col as f64) < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// Reconstructs the exact per-index probability mass the table
+    /// realizes: column `i` contributes `prob[i]/n` to index `i` and
+    /// `(1−prob[i])/n` to `alias[i]`. Used by tests to reconcile the
+    /// table against the pre-materialized CDF oracle.
+    pub fn masses(&self) -> Vec<f64> {
+        let n = self.prob.len();
+        let mut mass = vec![0.0; n];
+        for (i, (&p, &a)) in self.prob.iter().zip(self.alias.iter()).enumerate() {
+            mass[i] += p / n as f64;
+            mass[a as usize] += (1.0 - p) / n as f64;
+        }
+        mass
+    }
+}
+
 /// Uniformly random non-empty shard set of size `1..=k_max`.
 pub(crate) fn random_shard_set(cfg: &SystemConfig, rng: &mut Rng) -> Proposal {
     let width = rng.gen_range(1..=cfg.k_max);
@@ -422,6 +537,56 @@ mod tests {
         ] {
             assert!(bad.parse::<StrategyKind>().is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn alias_table_masses_match_cdf_oracle() {
+        // The alias table must realize exactly the distribution the
+        // pre-materialized CDF sampler realizes: per-index mass equals
+        // the successive CDF differences.
+        for (n, a) in [(1usize, 1.0), (7, 0.0), (64, 0.8), (257, 1.4)] {
+            let table = AliasTable::zipf(n, a);
+            let cdf = zipf_cdf(n, a);
+            let masses = table.masses();
+            assert_eq!(masses.len(), n);
+            let mut prev = 0.0;
+            for (i, (&m, &c)) in masses.iter().zip(cdf.iter()).enumerate() {
+                let oracle = c - prev;
+                prev = c;
+                assert!(
+                    (m - oracle).abs() < 1e-9,
+                    "index {i} of {n}: alias mass {m} vs CDF mass {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_draws_are_seed_deterministic_and_in_bounds() {
+        let table = AliasTable::zipf(1000, 0.9);
+        let mut a = seeded_rng(99);
+        let mut b = seeded_rng(99);
+        for _ in 0..2000 {
+            let x = table.sample(&mut a);
+            assert_eq!(x, table.sample(&mut b), "same seed, same draw");
+            assert!(x < 1000);
+        }
+        assert_eq!(table.len(), 1000);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn alias_table_skew_prefers_head_ranks() {
+        let table = AliasTable::zipf(100, 1.2);
+        let mut rng = seeded_rng(5);
+        let mut head = 0u32;
+        for _ in 0..4000 {
+            if table.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(1.2) puts ~66% of its mass on the top 10 of 100 ranks.
+        assert!(head > 2000, "head ranks drew only {head}/4000");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::graph::ConflictGraph;
 use sharding_core::txn::Transaction;
+use std::collections::HashMap;
 
 /// Which coloring algorithm a scheduler should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -207,7 +208,22 @@ pub struct ColoringScratch {
     readers: Vec<ColorSet>,
     /// Forbidden-color accumulator for the transaction being colored.
     forbidden: Vec<u64>,
+    /// First-touch interning of account index → dense slot, engaged for
+    /// universes past [`DENSE_LIMIT`]. `None` means slots *are* account
+    /// indices (the dense fast path, byte-for-byte the historical
+    /// behavior).
+    intern: Option<HashMap<usize, u32>>,
 }
+
+/// Account-universe size beyond which [`ColoringScratch::with_accounts`]
+/// interns touched accounts instead of pre-sizing dense arrays. The
+/// dense layout costs ~56 bytes per account *per scratch* — and the
+/// networked engine holds one scratch per shard — so pre-sizing a
+/// million-account firehose universe would cost gigabytes for accounts
+/// a coloring batch never touches. Interned mode grows with the set of
+/// accounts actually seen; colorings are identical in both modes (slots
+/// are just renamed account identities).
+const DENSE_LIMIT: usize = 1 << 19;
 
 impl ColoringScratch {
     /// Creates an empty scratch; it grows to fit the account space on
@@ -216,14 +232,23 @@ impl ColoringScratch {
         Self::default()
     }
 
-    /// Creates a scratch pre-sized for accounts `0..accounts`.
+    /// Creates a scratch pre-sized for accounts `0..accounts` (dense),
+    /// or lazily interned when the universe exceeds the crate-private
+    /// `DENSE_LIMIT` (see its comment above for the space argument).
     pub fn with_accounts(accounts: usize) -> Self {
+        if accounts > DENSE_LIMIT {
+            return ColoringScratch {
+                intern: Some(HashMap::new()),
+                ..Self::default()
+            };
+        }
         ColoringScratch {
             stamp: 0,
             stamps: vec![0; accounts],
             writers: vec![ColorSet::default(); accounts],
             readers: vec![ColorSet::default(); accounts],
             forbidden: Vec::new(),
+            intern: None,
         }
     }
 
@@ -234,6 +259,24 @@ impl ColoringScratch {
             self.writers.resize(idx + 1, ColorSet::default());
             self.readers.resize(idx + 1, ColorSet::default());
         }
+    }
+
+    /// Dense slot of account index `idx`: the identity in dense mode,
+    /// the first-touch intern slot otherwise.
+    fn slot(&mut self, idx: usize) -> usize {
+        let Some(map) = &mut self.intern else {
+            self.ensure(idx);
+            return idx;
+        };
+        if let Some(&s) = map.get(&idx) {
+            return s as usize;
+        }
+        let next = self.stamps.len();
+        map.insert(idx, next as u32);
+        self.stamps.push(0);
+        self.writers.push(ColorSet::default());
+        self.readers.push(ColorSet::default());
+        next
     }
 }
 
@@ -263,8 +306,7 @@ pub fn greedy_by_accounts_with(txns: &[Transaction], scratch: &mut ColoringScrat
     for t in txns {
         scratch.forbidden.clear();
         for a in t.accesses() {
-            let idx = a.account.index();
-            scratch.ensure(idx);
+            let idx = scratch.slot(a.account.index());
             if scratch.stamps[idx] == stamp {
                 // Anyone conflicts with earlier writers; a writer also
                 // conflicts with earlier readers.
@@ -286,7 +328,7 @@ pub fn greedy_by_accounts_with(txns: &[Transaction], scratch: &mut ColoringScrat
         colors.push(c);
         num_colors = num_colors.max(c + 1);
         for a in t.accesses() {
-            let idx = a.account.index();
+            let idx = scratch.slot(a.account.index());
             if scratch.stamps[idx] != stamp {
                 scratch.stamps[idx] = stamp;
                 scratch.writers[idx].words.clear();
@@ -439,6 +481,46 @@ mod tests {
     use sharding_core::ids::{Round, ShardId, TxnId};
     use sharding_core::rngutil::seeded_rng;
     use sharding_core::txn::Transaction;
+
+    #[test]
+    fn interned_scratch_colors_identically_to_dense() {
+        // The firehose path hands `with_accounts` universes past
+        // DENSE_LIMIT; the interned scratch must produce the exact
+        // colorings of the dense one, batch after batch (stamp reset
+        // included), even for sparse re-homed account ids.
+        let sys = SystemConfig {
+            shards: 8,
+            accounts: 64,
+            k_max: 3,
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+        };
+        let map = AccountMap::round_robin(&sys);
+        let mut dense = ColoringScratch::with_accounts(sys.accounts);
+        let mut interned = ColoringScratch::with_accounts(DENSE_LIMIT + 1);
+        assert!(interned.intern.is_some() && dense.intern.is_none());
+        let mut rng = seeded_rng(31);
+        for batch_no in 0..12u64 {
+            let txns: Vec<Transaction> = (0..20)
+                .map(|i| {
+                    let a = rng.gen_range(0..8u32);
+                    let b = rng.gen_range(0..8u32);
+                    Transaction::writing_shards(
+                        TxnId(batch_no * 100 + i),
+                        ShardId(a),
+                        Round(batch_no),
+                        &map,
+                        &[ShardId(a), ShardId(b)],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let d = greedy_by_accounts_with(&txns, &mut dense);
+            let s = greedy_by_accounts_with(&txns, &mut interned);
+            assert_eq!(d.colors(), s.colors(), "batch {batch_no}");
+            assert_eq!(d.num_colors(), s.num_colors());
+        }
+    }
 
     #[test]
     fn coloring_strategy_roundtrips_through_from_str() {

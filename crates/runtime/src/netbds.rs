@@ -30,7 +30,7 @@
 use crate::exec::run_lockstep;
 use crate::hub::{NetEnvelope, NetHub, NetInbox, ShardPort};
 use crate::sync::RoundGate;
-use adversary::{Adversary, AdversaryConfig};
+use adversary::{Adversary, AdversaryConfig, RoundSource};
 use cluster::ShardMetric;
 use parking_lot::Mutex;
 use schedulers::bds::BdsConfig;
@@ -147,13 +147,25 @@ pub(crate) fn pregenerate_workload(
     adv: &AdversaryConfig,
     total: u64,
 ) -> (Vec<Vec<Vec<Transaction>>>, u64) {
-    let s = sys.shards;
     let mut adversary = Adversary::new(sys, map, *adv);
+    pregenerate_from(&mut adversary, sys.shards, total)
+}
+
+/// [`pregenerate_workload`] generalized over any [`RoundSource`]: drains
+/// the source round by round up front — in exactly the order the
+/// simulator drains it live, so a deterministic source yields the same
+/// per-round batches on both engines — and partitions per
+/// `(round, home shard)`.
+pub(crate) fn pregenerate_from(
+    source: &mut dyn RoundSource,
+    shards: usize,
+    total: u64,
+) -> (Vec<Vec<Vec<Transaction>>>, u64) {
     let mut inject: Vec<Vec<Vec<Transaction>>> = Vec::with_capacity(total as usize);
     let mut generated = 0u64;
     for r in 0..total {
-        let mut per_shard: Vec<Vec<Transaction>> = vec![Vec::new(); s];
-        for t in adversary.generate(Round(r)) {
+        let mut per_shard: Vec<Vec<Transaction>> = vec![Vec::new(); shards];
+        for t in source.next_round(Round(r)) {
             generated += 1;
             per_shard[t.home.index()].push(t);
         }
@@ -509,6 +521,36 @@ pub fn run_net_sched(
     kind: SchedulerKind,
     workers: usize,
 ) -> NetOutcome {
+    let mut adversary = Adversary::new(sys, map, *adv);
+    run_net_sched_from(
+        sys,
+        map,
+        &mut adversary,
+        rounds,
+        metric,
+        bcfg,
+        faults,
+        kind,
+        workers,
+    )
+}
+
+/// [`run_net_sched`] generalized over any [`RoundSource`] — the seam the
+/// streaming ingestion plane plugs into. The source is pre-drained round
+/// by round (generation stays off the executed rounds), then the engine
+/// runs exactly as with the legacy adversary.
+#[allow(clippy::too_many_arguments)]
+pub fn run_net_sched_from(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    source: &mut dyn RoundSource,
+    rounds: Round,
+    metric: &dyn ShardMetric,
+    bcfg: BdsConfig,
+    faults: &FaultPlan,
+    kind: SchedulerKind,
+    workers: usize,
+) -> NetOutcome {
     sys.validate().expect("valid system config");
     assert_eq!(metric.shards(), sys.shards);
     faults.validate(sys.shards).expect("valid fault plan");
@@ -516,7 +558,7 @@ pub fn run_net_sched(
     let total = rounds.raw();
     let gap = metric.diameter().max(1);
 
-    let (inject, generated) = pregenerate_workload(sys, map, adv, total);
+    let (inject, generated) = pregenerate_from(source, s, total);
 
     let hub: NetHub<Msg> = NetHub::new(metric, msg_bytes).expect("validated: at least one shard");
     let gate = RoundGate::new(s);

@@ -8,11 +8,11 @@
 //! any worker count.
 
 use crate::spec::JobSpec;
-use adversary::Adversary;
-use runtime::{run_net_fds, run_net_sched, EngineKind};
+use adversary::{Adversary, MempoolStats, RoundSource};
+use runtime::{run_net_fds, run_net_sched, run_net_sched_from, EngineKind};
 use schedulers::baseline::{run_fcfs, FcfsConfig};
 use schedulers::bds::{BdsConfig, BdsSim};
-use schedulers::driver::drive;
+use schedulers::driver::{drive, drive_with};
 use schedulers::fds::{run_fds, FdsConfig, FdsSim};
 use schedulers::history::check_cross_shard_order;
 use schedulers::{RunReport, SchedulerKind};
@@ -31,6 +31,9 @@ pub struct JobOutcome {
     /// Cross-shard serialization-order violations, when the spec asked
     /// for the check (`check-order = true`, FDS only).
     pub violations: Option<u64>,
+    /// Ingestion-plane counters, when the spec ran the streaming
+    /// mempool (`mempool = CAPACITY`).
+    pub mempool: Option<MempoolStats>,
 }
 
 /// The BDS tunables a spec selects.
@@ -69,8 +72,8 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
     let rounds = Round(spec.rounds);
     if spec.engine == EngineKind::Net {
         let faults = spec.fault_plan();
-        let report = match spec.scheduler {
-            SchedulerKind::Fds => {
+        let (report, mempool) = match spec.scheduler {
+            SchedulerKind::Fds => (
                 run_net_fds(
                     &sys,
                     &map,
@@ -80,32 +83,54 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                     fds_config(spec),
                     &faults,
                 )
-                .report
-            }
+                .report,
+                None,
+            ),
             SchedulerKind::Fcfs => unreachable!("rejected at plan time"),
             // BDS proper and every zoo policy share the epoch host.
             kind => {
-                run_net_sched(
-                    &sys,
-                    &map,
-                    &adv,
-                    rounds,
-                    metric.as_ref(),
-                    bds_config(spec),
-                    &faults,
-                    kind,
-                    spec.shards,
-                )
-                .report
+                if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
+                    // Firehose: the networked engine pre-drains the same
+                    // stream the simulator drains live, so reports stay
+                    // byte-identical across engines.
+                    let report = run_net_sched_from(
+                        &sys,
+                        &map,
+                        &mut pipeline,
+                        rounds,
+                        metric.as_ref(),
+                        bds_config(spec),
+                        &faults,
+                        kind,
+                        spec.shards,
+                    )
+                    .report;
+                    (report, pipeline.stats())
+                } else {
+                    let report = run_net_sched(
+                        &sys,
+                        &map,
+                        &adv,
+                        rounds,
+                        metric.as_ref(),
+                        bds_config(spec),
+                        &faults,
+                        kind,
+                        spec.shards,
+                    )
+                    .report;
+                    (report, None)
+                }
             }
         };
         return JobOutcome {
             spec: spec.clone(),
             report,
             violations: None,
+            mempool,
         };
     }
-    let (report, violations) = match spec.scheduler {
+    let (report, violations, mempool) = match spec.scheduler {
         SchedulerKind::Fds => {
             let fcfg = fds_config(spec);
             if spec.check_order {
@@ -122,10 +147,11 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                     sim.step(batch);
                 }
                 let violations = check_cross_shard_order(sim.chains(), &all).len() as u64;
-                (sim.finish(), Some(violations))
+                (sim.finish(), Some(violations), None)
             } else {
                 (
                     run_fds(&sys, &map, &adv, rounds, metric.as_ref(), fcfg),
+                    None,
                     None,
                 )
             }
@@ -134,7 +160,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
             let fcfg = FcfsConfig {
                 respect_capacity: spec.respect_capacity,
             };
-            (run_fcfs(&sys, &map, &adv, rounds, fcfg), None)
+            (run_fcfs(&sys, &map, &adv, rounds, fcfg), None, None)
         }
         // BDS proper and every zoo policy share the epoch host; the
         // factory is the single registration point (`run_bds_with_metric`
@@ -146,13 +172,19 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 .expect("non-policy kinds have explicit arms above");
             let metric_ref = metric.as_ref();
             let sim = BdsSim::with_policy(&sys, &map, bcfg, metric_ref, policy);
-            (drive(sim, &sys, &map, &adv, rounds), None)
+            if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
+                let report = drive_with(sim, &mut pipeline, rounds);
+                (report, None, pipeline.stats())
+            } else {
+                (drive(sim, &sys, &map, &adv, rounds), None, None)
+            }
         }
     };
     JobOutcome {
         spec: spec.clone(),
         report,
         violations,
+        mempool,
     }
 }
 

@@ -19,14 +19,15 @@ use std::path::Path;
 pub const CSV_HEADER: &str = "scenario,job,scheduler,metric,shards,accounts,k,rounds,rho,b,\
 strategy,shape,seed,coloring,generated,committed,aborted,pending_at_end,avg_queue_per_shard,\
 avg_latency,max_latency,max_total_pending,epochs,max_epoch_len,messages,max_message_bytes,\
-verdict,order_violations,crashes,dropped_msgs,duplicated_msgs,byz_flips";
+verdict,order_violations,crashes,dropped_msgs,duplicated_msgs,byz_flips,\
+mempool_depth_max,admitted,deferred,evicted";
 
 /// One CSV data row (no trailing newline).
 pub fn csv_row(o: &JobOutcome) -> String {
     let s = &o.spec;
     let r = &o.report;
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{},{}",
         s.scenario,
         s.index,
         s.scheduler,
@@ -62,6 +63,13 @@ pub fn csv_row(o: &JobOutcome) -> String {
         r.faults.dropped,
         r.faults.duplicated,
         r.faults.byz_flips,
+        // The four ingestion-plane columns render empty (not zero) for
+        // jobs without a mempool, so legacy rows stay visually distinct
+        // from a firehose run that genuinely admitted everything.
+        match &o.mempool {
+            Some(m) => format!("{},{},{},{}", m.depth_max, m.admitted, m.deferred, m.evicted),
+            None => ",,,".to_string(),
+        },
     )
 }
 
@@ -131,6 +139,12 @@ pub fn json_line(o: &JobOutcome) -> String {
     ];
     if let Some(v) = o.violations {
         fields.push(format!("\"order_violations\":{v}"));
+    }
+    if let Some(m) = &o.mempool {
+        fields.push(format!("\"mempool_depth_max\":{}", m.depth_max));
+        fields.push(format!("\"admitted\":{}", m.admitted));
+        fields.push(format!("\"deferred\":{}", m.deferred));
+        fields.push(format!("\"evicted\":{}", m.evicted));
     }
     format!("{{{}}}", fields.join(","))
 }

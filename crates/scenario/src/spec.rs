@@ -1,7 +1,9 @@
 //! Fully resolved job specifications and the key/value assignment logic
 //! shared by the base section and grid axes of a scenario file.
 
-use adversary::{StrategyKind, WorkloadShape};
+use adversary::{
+    saturation_offered, IngestPipeline, StrategyKind, StreamKind, StreamSource, WorkloadShape,
+};
 use cluster::MetricKind;
 use conflict::ColoringStrategy;
 use runtime::EngineKind;
@@ -110,6 +112,9 @@ pub(crate) struct JobDraft {
     pub drop_budget: u64,
     pub crashes: Vec<(u32, u64)>,
     pub byz_votes: usize,
+    pub mempool: Option<usize>,
+    pub stream: Option<String>,
+    pub offered: Option<u64>,
 }
 
 impl Default for JobDraft {
@@ -144,6 +149,9 @@ impl Default for JobDraft {
             drop_budget: u64::MAX,
             crashes: Vec::new(),
             byz_votes: 0,
+            mempool: None,
+            stream: None,
+            offered: None,
         }
     }
 }
@@ -206,6 +214,14 @@ impl JobDraft {
             "drop-budget" => self.drop_budget = parse_num(value, "an integer")?,
             "crash" => self.crashes = parse_crashes(value)?,
             "byzantine-votes" => self.byz_votes = parse_num(value, "an integer")?,
+            "mempool" => self.mempool = Some(parse_num(value, "an integer")?),
+            "stream" => {
+                // Validate eagerly so a bad value is reported against
+                // its own line.
+                value.parse::<StreamKind>()?;
+                self.stream = Some(value.into());
+            }
+            "offered" => self.offered = Some(parse_num(value, "an integer")?),
             other => return Err(format!("unknown key `{other}`")),
         }
         Ok(())
@@ -293,6 +309,39 @@ impl JobDraft {
                 self.byz_votes, self.faulty_per_shard
             ));
         }
+        let stream = match &self.stream {
+            Some(raw) => Some(raw.parse::<StreamKind>()?),
+            None => None,
+        };
+        if let Some(cap) = self.mempool {
+            if cap == 0 {
+                return Err("mempool capacity must be >= 1".into());
+            }
+            if matches!(self.scheduler, SchedulerKind::Fds | SchedulerKind::Fcfs) {
+                return Err(format!(
+                    "mempool requires an epoch-hosted scheduler (bds or a zoo \
+                     policy); {} runs its own execution discipline",
+                    self.scheduler
+                ));
+            }
+            if stream.is_none() {
+                return Err(
+                    "mempool requires stream = zipf:<exponent> | shift:<period> \
+                     (the ingestion plane needs a streaming producer)"
+                        .into(),
+                );
+            }
+        } else {
+            if stream.is_some() {
+                return Err("stream requires mempool = CAPACITY".into());
+            }
+            if self.offered.is_some() {
+                return Err("offered requires mempool = CAPACITY".into());
+            }
+        }
+        if self.offered == Some(0) {
+            return Err("offered must be >= 1".into());
+        }
         let spec = JobSpec {
             scenario: scenario.to_string(),
             index,
@@ -326,6 +375,9 @@ impl JobDraft {
             drop_budget: self.drop_budget,
             crashes: self.crashes.clone(),
             byz_votes: self.byz_votes,
+            mempool: self.mempool,
+            stream,
+            offered: self.offered,
         };
         spec.system_config().validate().map_err(|e| e.to_string())?;
         spec.metric.build(spec.shards)?;
@@ -406,6 +458,14 @@ pub struct JobSpec {
     pub crashes: Vec<(u32, u64)>,
     /// Net engine: Byzantine voters per intra-shard consensus instance.
     pub byz_votes: usize,
+    /// Firehose: per-home-shard mempool lane capacity (`None` = the
+    /// legacy inline generator, no ingestion plane).
+    pub mempool: Option<usize>,
+    /// Firehose: which account distribution the producer streams.
+    pub stream: Option<StreamKind>,
+    /// Firehose: transactions offered per round (`None` = saturation
+    /// default, 4× the `(ρ, b)`-sustainable rate).
+    pub offered: Option<u64>,
 }
 
 impl JobSpec {
@@ -457,6 +517,33 @@ impl JobSpec {
         }
     }
 
+    /// The round-by-round offered rate of this job's firehose producer
+    /// (explicit `offered`, or the saturation default).
+    pub fn offered_rate(&self) -> u64 {
+        self.offered
+            .unwrap_or_else(|| saturation_offered(self.rho, self.shards, self.k))
+    }
+
+    /// The streaming ingestion pipeline for firehose jobs, or `None`
+    /// when the job uses the legacy inline generator. `sys`/`map` must
+    /// be this job's own [`system_config`](Self::system_config) /
+    /// [`account_map`](Self::account_map).
+    pub fn ingest_pipeline(&self, sys: &SystemConfig, map: &AccountMap) -> Option<IngestPipeline> {
+        let capacity = self.mempool?;
+        let kind = self.stream.expect("validated: stream accompanies mempool");
+        let source = StreamSource::new(
+            sys,
+            map,
+            kind,
+            self.shape,
+            self.rho,
+            self.b,
+            self.offered_rate(),
+            self.seed,
+        );
+        Some(IngestPipeline::new(source, capacity))
+    }
+
     /// Compact human label: the grid overrides that produced this job,
     /// or `"(base)"` when the plan has no grid.
     pub fn label(&self) -> String {
@@ -474,8 +561,19 @@ impl JobSpec {
     /// One-line deterministic description, used by `blockshard plan` and
     /// the golden parser tests.
     pub fn plan_line(&self) -> String {
+        // The firehose token group is present only for mempool jobs so
+        // legacy plan goldens stay byte-identical.
+        let firehose = match (self.mempool, self.stream) {
+            (Some(cap), Some(kind)) => {
+                format!(
+                    "mempool={cap} stream={kind} offered={} ",
+                    self.offered_rate()
+                )
+            }
+            _ => String::new(),
+        };
         format!(
-            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} [{}]",
+            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} {firehose}[{}]",
             self.index,
             self.scheduler,
             self.engine,

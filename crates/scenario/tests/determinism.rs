@@ -91,3 +91,45 @@ fn rerun_is_reproducible() {
     let b = run_jobs(&jobs, 3, false);
     assert_eq!(report::csv_string(&a), report::csv_string(&b));
 }
+
+#[test]
+fn firehose_same_bytes_across_thread_counts() {
+    // The ingestion plane adds two stateful stages in front of the
+    // scheduler — the streaming producer and the mempool — and both run
+    // *inside* a worker's job, so the mempool columns must be as
+    // thread-count-invariant as every other field. The grid also spans
+    // sim and net engines over the same stream, so this doubles as a
+    // cheap cross-engine drain check at a round count the goldens don't
+    // cover.
+    let scenario = checked_in("firehose_shift.scenario");
+    let jobs = scenario
+        .jobs_with(&[("rounds".to_string(), "60".to_string())])
+        .unwrap();
+    assert_eq!(jobs.len(), 2, "sim + net over the identical stream");
+
+    let single = run_jobs(&jobs, 1, false);
+    assert!(
+        single.iter().all(|o| o.mempool.is_some()),
+        "every firehose job must surface ingestion counters"
+    );
+    let csv1 = report::csv_string(&single);
+    let jsonl1 = report::jsonl_string(&single);
+    assert!(
+        jsonl1.contains("\"mempool_depth_max\""),
+        "ingestion counters must reach the JSONL report"
+    );
+
+    for threads in [2, 4] {
+        let multi = run_jobs(&jobs, threads, false);
+        assert_eq!(
+            csv1,
+            report::csv_string(&multi),
+            "firehose CSV bytes changed at {threads} worker threads"
+        );
+        assert_eq!(
+            jsonl1,
+            report::jsonl_string(&multi),
+            "firehose JSONL bytes changed at {threads} worker threads"
+        );
+    }
+}

@@ -126,6 +126,60 @@ fn zoo_quick_report_matches_golden() {
     check_report_golden_at("zoo_quick.scenario", "zoo_quick_rounds200.csv", 200, &[]);
 }
 
+/// The ingestion-plane goldens: both firehose scenarios at 120 rounds,
+/// pinning the streamed workload, the admission decisions, and the four
+/// mempool report columns. `firehose_shift`'s grid spans `engine =
+/// sim, net` over one stream — the CSV has no engine column, so the
+/// golden holding two byte-identical rows *is* the proof that the
+/// networked runtime pre-drains exactly the batches the simulator
+/// drains live, ingestion counters included. Regenerate like the other
+/// report goldens but with `--rounds 120`:
+///
+/// ```sh
+/// cargo run --release --bin blockshard -- run scenarios/firehose_shift.scenario \
+///     scenarios/firehose_zipf.scenario --rounds 120 --out /tmp/golden
+/// cp /tmp/golden/firehose-shift.csv crates/scenario/tests/golden/firehose_shift_rounds120.csv
+/// cp /tmp/golden/firehose-zipf.csv crates/scenario/tests/golden/firehose_zipf_rounds120.csv
+/// ```
+#[test]
+fn firehose_shift_report_matches_golden_and_engines_agree() {
+    check_report_golden_at(
+        "firehose_shift.scenario",
+        "firehose_shift_rounds120.csv",
+        120,
+        &[],
+    );
+    // Make the two-identical-rows property explicit rather than latent
+    // in the golden bytes.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let golden = std::fs::read_to_string(dir.join("firehose_shift_rounds120.csv")).unwrap();
+    let rows: Vec<&str> = golden.lines().skip(1).collect();
+    assert_eq!(rows.len(), 2);
+    let strip_job = |r: &str| {
+        r.splitn(3, ',')
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, f)| f.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(
+        strip_job(rows[0]),
+        strip_job(rows[1]),
+        "sim and net rows must be identical apart from the job index"
+    );
+}
+
+#[test]
+fn firehose_zipf_report_matches_golden() {
+    check_report_golden_at(
+        "firehose_zipf.scenario",
+        "firehose_zipf_rounds120.csv",
+        120,
+        &[],
+    );
+}
+
 #[test]
 fn every_checked_in_scenario_parses_and_plans() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
@@ -140,7 +194,7 @@ fn every_checked_in_scenario_parses_and_plans() {
         }
     }
     assert!(
-        count >= 17,
+        count >= 19,
         "expected the shipped scenario set, found {count}"
     );
 }

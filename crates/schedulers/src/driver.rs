@@ -10,7 +10,7 @@
 //! `run_*` convenience function shares.
 
 use crate::metrics::RunReport;
-use adversary::{Adversary, AdversaryConfig};
+use adversary::{Adversary, AdversaryConfig, RoundSource};
 use sharding_core::{AccountMap, Round, SystemConfig, Transaction};
 
 /// A synchronous round-based scheduler execution: feed it one injection
@@ -26,15 +26,27 @@ pub trait RoundDriver {
 /// Drives `driver` for `rounds` rounds against a fresh adversary — the
 /// loop shared by every `run_*` convenience function.
 pub fn drive<D: RoundDriver>(
-    mut driver: D,
+    driver: D,
     sys: &SystemConfig,
     map: &AccountMap,
     adv: &AdversaryConfig,
     rounds: Round,
 ) -> RunReport {
     let mut adversary = Adversary::new(sys, map, *adv);
+    drive_with(driver, &mut adversary, rounds)
+}
+
+/// Drives `driver` for `rounds` rounds, pulling each round's batch from
+/// an arbitrary [`RoundSource`] — the legacy per-round adversary or the
+/// streaming [`IngestPipeline`](adversary::IngestPipeline). [`drive`] is
+/// this loop specialized to a fresh adversary.
+pub fn drive_with<D: RoundDriver>(
+    mut driver: D,
+    source: &mut dyn RoundSource,
+    rounds: Round,
+) -> RunReport {
     for r in 0..rounds.raw() {
-        driver.step(adversary.generate(Round(r)));
+        driver.step(source.next_round(Round(r)));
     }
     driver.finish()
 }

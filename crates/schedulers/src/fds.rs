@@ -54,7 +54,36 @@ use conflict::ColoringStrategy;
 use sharding_core::txn::SubTransaction;
 use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
 use simnet::{LocalChain, Network, ShardLedger};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the scheduler's small-integer keys
+/// (`TxnId`, `ShardId`). The default SipHash shows up in the FDS
+/// per-round profile; these maps are internal (no untrusted keys), so a
+/// one-multiply Fibonacci-style mix is plenty. Deterministic — but none
+/// of the maps built on it are iterated anyway.
+#[derive(Default)]
+struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
+type FastSet<K> = HashSet<K, BuildHasherDefault<IntHasher>>;
 
 /// FDS tunables.
 #[derive(Debug, Clone, Copy)]
@@ -146,7 +175,8 @@ fn msg_bytes(m: &Msg) -> usize {
 #[derive(Debug)]
 struct LeaderEntry {
     txn: Transaction,
-    votes: BTreeMap<ShardId, bool>,
+    // Pure lookup + tally (never iterated for ordering): hashed.
+    votes: FastMap<ShardId, bool>,
 }
 
 /// Scheduling state of one cluster leader.
@@ -171,11 +201,14 @@ struct DestState {
     /// `sch_qd`: height-ordered scheduled subtransactions.
     sch_qd: BTreeMap<Height, SubTransaction>,
     /// Reverse index txn → current height (for updates and removals).
-    by_txn: BTreeMap<TxnId, Height>,
-    /// Leader shard per queued txn (vote routing).
-    leader_of: BTreeMap<TxnId, ShardId>,
+    /// Lookup-only (never iterated), so hashed — the schedule order
+    /// lives exclusively in `sch_qd`.
+    by_txn: FastMap<TxnId, Height>,
+    /// Leader shard per queued txn (vote routing). Lookup-only: hashed.
+    leader_of: FastMap<TxnId, ShardId>,
     /// Transactions this destination has already voted for.
-    voted: BTreeSet<TxnId>,
+    /// Membership-only: hashed.
+    voted: FastSet<TxnId>,
 }
 
 /// The FDS simulator. Drive with [`FdsSim::step`] once per round.
@@ -191,8 +224,9 @@ pub struct FdsSim {
     leaders: BTreeMap<ClusterId, LeaderState>,
     /// Home cluster of every transaction currently in some leader's
     /// `sch_ldr` — vote routing becomes one lookup instead of a scan
-    /// over every cluster the receiving shard leads.
-    txn_cluster: BTreeMap<TxnId, ClusterId>,
+    /// over every cluster the receiving shard leads. Lookup-only:
+    /// hashed.
+    txn_cluster: FastMap<TxnId, ClusterId>,
     dests: Vec<DestState>,
     /// Per-destination batch of subtransactions confirmed this round,
     /// sealed into one block at the end of the round.
@@ -213,6 +247,21 @@ pub struct FdsSim {
     /// arrival), and it is a pure function of the fixed hierarchy —
     /// outer index home shard, inner index access distance `x`.
     home_cluster_cache: Vec<Vec<Option<ClusterId>>>,
+    /// Recycled phase-1 scratch: holds the not-yet-due outbox entries
+    /// while a home shard's outbox is partitioned at an epoch boundary,
+    /// then swaps back in — steady state allocates nothing per round.
+    keep_buf: Vec<(ClusterId, Transaction)>,
+    /// Recycled phase-2 scratch: the clusters at their coloring moment
+    /// this round.
+    due_buf: Vec<ClusterId>,
+    /// Clusters with work pending (`incoming` or `sch_ldr` non-empty).
+    /// `leaders` only ever grows — one entry per cluster ever used — so
+    /// the per-round phase-2 scan and the leader-queue metric walk this
+    /// set instead of the whole map. Maintained at the two transition
+    /// points: a `ToLeader` arrival activates, the last confirm
+    /// deactivates (coloring only moves work between the two queues).
+    /// A `BTreeSet` so iteration order matches the old sorted-map scan.
+    active: BTreeSet<ClusterId>,
 }
 
 impl FdsSim {
@@ -243,7 +292,7 @@ impl FdsSim {
             chains: (0..s).map(|i| LocalChain::new(ShardId(i as u32))).collect(),
             outbox: vec![Vec::new(); s],
             leaders: BTreeMap::new(),
-            txn_cluster: BTreeMap::new(),
+            txn_cluster: FastMap::default(),
             dests: (0..s).map(|_| DestState::default()).collect(),
             append_buf: vec![Vec::new(); s],
             e0,
@@ -255,6 +304,9 @@ impl FdsSim {
             committed_log: Vec::new(),
             policy: ColoringPolicy::new(SchedulerKind::Fds, fcfg.coloring, sys.accounts),
             home_cluster_cache: vec![Vec::new(); s],
+            keep_buf: Vec::new(),
+            due_buf: Vec::new(),
+            active: BTreeSet::new(),
         }
     }
 
@@ -359,9 +411,9 @@ impl FdsSim {
         //    *scheduled* transactions at cluster leader shards, so the
         //    queue series records mean `sch_ldr` size over active leaders.
         let (lead_total, lead_active) = self
-            .leaders
-            .values()
-            .filter(|st| !st.sch_ldr.is_empty() || !st.incoming.is_empty())
+            .active
+            .iter()
+            .map(|cid| &self.leaders[cid])
             .fold((0usize, 0usize), |(t, n), st| {
                 (t + st.sch_ldr.len() + st.incoming.len(), n + 1)
             });
@@ -378,12 +430,24 @@ impl FdsSim {
 
     fn phase1_forward(&mut self) {
         let now = self.now;
+        // Every layer's epoch length is `e0 << layer`, so every epoch
+        // boundary — for every layer — is a multiple of `e0`. On the
+        // other `e0 - 1` of each `e0` rounds nothing can be due, and the
+        // partition pass below would only move every outbox entry into
+        // `keep` and back; skip it wholesale.
+        if !now.raw().is_multiple_of(self.e0) {
+            return;
+        }
         for h in 0..self.sys.shards {
             if self.outbox[h].is_empty() {
                 continue;
             }
-            let mut keep = Vec::new();
-            for (cid, txn) in std::mem::take(&mut self.outbox[h]) {
+            // Partition through the recycled scratch: `pending` (the old
+            // outbox) drains into sends + `keep`, then the two vectors
+            // swap roles so both capacities survive to the next boundary.
+            let mut pending = std::mem::take(&mut self.outbox[h]);
+            let mut keep = std::mem::take(&mut self.keep_buf);
+            for (cid, txn) in pending.drain(..) {
                 if now.raw().is_multiple_of(self.epoch_len(cid.layer)) {
                     let leader = self.hierarchy.cluster(cid).leader;
                     // Leader states are keyed by cluster; create lazily so
@@ -401,28 +465,33 @@ impl FdsSim {
                 }
             }
             self.outbox[h] = keep;
+            self.keep_buf = pending;
         }
     }
 
     fn phase2_color_clusters(&mut self) {
         let now = self.now.raw();
         // Collect the clusters at their coloring moment first (borrow
-        // discipline), then process each.
-        let due: Vec<ClusterId> = self
-            .leaders
-            .iter()
-            .filter(|(cid, st)| {
-                let d_c = self.hierarchy.cluster(**cid).diameter.max(1);
-                let e_i = self.epoch_len(cid.layer);
-                now >= d_c
-                    && (now - d_c).is_multiple_of(e_i)
-                    && (!st.incoming.is_empty() || !st.sch_ldr.is_empty())
-            })
-            .map(|(cid, _)| *cid)
-            .collect();
-        for cid in due {
+        // discipline) into the recycled scratch, then process each.
+        let mut due = std::mem::take(&mut self.due_buf);
+        due.clear();
+        // `active` holds exactly the clusters with a non-empty
+        // `incoming` or `sch_ldr`, in the same `ClusterId` order the old
+        // full-map scan produced.
+        due.extend(
+            self.active
+                .iter()
+                .filter(|cid| {
+                    let d_c = self.hierarchy.cluster(**cid).diameter.max(1);
+                    let e_i = self.epoch_len(cid.layer);
+                    now >= d_c && (now - d_c).is_multiple_of(e_i)
+                })
+                .copied(),
+        );
+        for &cid in &due {
             self.color_cluster(cid);
         }
+        self.due_buf = due;
     }
 
     /// Phase 2 for one cluster: color new (or all uncommitted, at
@@ -450,7 +519,7 @@ impl FdsSim {
             if let std::collections::btree_map::Entry::Vacant(v) = st.sch_ldr.entry(t.id) {
                 v.insert(LeaderEntry {
                     txn: t.clone(),
-                    votes: BTreeMap::new(),
+                    votes: FastMap::default(),
                 });
                 self.txn_cluster.insert(t.id, cid);
             }
@@ -518,6 +587,14 @@ impl FdsSim {
             if dest.voted.len() >= window {
                 continue;
             }
+            // Votes are only cast for queued entries and are removed
+            // together with them on confirmation, so `voted` is a subset
+            // of `sch_qd`'s txns; equal sizes mean the whole queue is
+            // already voted (including the empty queue) and the head
+            // scan below cannot find anything.
+            if dest.voted.len() == dest.sch_qd.len() {
+                continue;
+            }
             // One new vote per round: the smallest-height unvoted entry.
             let Some((_, sub)) = dest
                 .sch_qd
@@ -550,6 +627,7 @@ impl FdsSim {
                 let cid = self.home_cluster_cached(txn.home, x);
                 debug_assert_eq!(self.hierarchy.cluster(cid).leader, to);
                 self.leaders.entry(cid).or_default().incoming.push(txn);
+                self.active.insert(cid);
             }
             Msg::Schedule {
                 sub,
@@ -620,6 +698,9 @@ impl FdsSim {
         let leader_shard = self.hierarchy.cluster(cid).leader;
         let st = self.leaders.get_mut(&cid).expect("cluster exists");
         let entry = st.sch_ldr.remove(&txn).expect("entry exists");
+        if st.sch_ldr.is_empty() && st.incoming.is_empty() {
+            self.active.remove(&cid);
+        }
         self.txn_cluster.remove(&txn);
         let now = self.now;
         let mut worst = 1;

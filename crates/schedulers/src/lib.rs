@@ -45,7 +45,7 @@ pub mod zoo;
 
 pub use baseline::{run_fcfs, FcfsConfig, FcfsSim};
 pub use bds::{run_bds, run_bds_with_metric, BdsConfig, BdsSim};
-pub use driver::{drive, RoundDriver};
+pub use driver::{drive, drive_with, RoundDriver};
 pub use fds::{run_fds, FdsConfig, FdsSim};
 pub use history::{check_cross_shard_order, OrderViolation};
 pub use metrics::{RunReport, SchedulerKind};

@@ -29,14 +29,16 @@ use simnet::LocalChain;
 /// uniform metric, built by [`make_sim`]. FDS runs with the strict
 /// pipeline window (`W = 1`), the configuration under which its
 /// cross-shard ordering is violation-free — conformance pins the safety
-/// contract, not the `W > 1` throughput ablation.
+/// contract, not the `W > 1` throughput ablation. Variants are boxed:
+/// the sims differ by up to ~1 KiB in size, and the harness moves
+/// `AnySim` values around freely.
 pub enum AnySim {
     /// The shared epoch host: BDS proper and every zoo policy.
-    EpochHost(BdsSim),
+    EpochHost(Box<BdsSim>),
     /// The hierarchical FDS pipeline.
-    Fds(FdsSim),
+    Fds(Box<FdsSim>),
     /// The centralized FCFS baseline (the zero-contention oracle).
-    Fcfs(FcfsSim),
+    Fcfs(Box<FcfsSim>),
 }
 
 impl AnySim {
@@ -96,15 +98,15 @@ impl RoundDriver for AnySim {
 pub fn make_sim(kind: SchedulerKind, sys: &SystemConfig, map: &AccountMap) -> AnySim {
     let metric = UniformMetric::new(sys.shards);
     match kind.epoch_policy(ColoringStrategy::Greedy, sys.accounts, sys.shards) {
-        Some(policy) => AnySim::EpochHost(BdsSim::with_policy(
+        Some(policy) => AnySim::EpochHost(Box::new(BdsSim::with_policy(
             sys,
             map,
             BdsConfig::default(),
             &metric,
             policy,
-        )),
+        ))),
         None => match kind {
-            SchedulerKind::Fds => AnySim::Fds(FdsSim::new(
+            SchedulerKind::Fds => AnySim::Fds(Box::new(FdsSim::new(
                 sys,
                 map,
                 FdsConfig {
@@ -112,8 +114,8 @@ pub fn make_sim(kind: SchedulerKind, sys: &SystemConfig, map: &AccountMap) -> An
                     ..FdsConfig::default()
                 },
                 &metric,
-            )),
-            SchedulerKind::Fcfs => AnySim::Fcfs(FcfsSim::new(sys, FcfsConfig::default())),
+            ))),
+            SchedulerKind::Fcfs => AnySim::Fcfs(Box::new(FcfsSim::new(sys, FcfsConfig::default()))),
             other => unreachable!("{other} has neither an epoch policy nor a dedicated sim"),
         },
     }
