@@ -1,0 +1,188 @@
+//! Fixed-bucket log-scale latency histogram.
+//!
+//! Bucket layout (HDR-style, integer-only):
+//!
+//! * values `0..64` each get their own bucket (exact low end — small-run
+//!   quantiles match a sorted-array oracle exactly);
+//! * every power-of-two octave `[2^e, 2^{e+1})` for `e in 6..=63` is split
+//!   into 8 linear sub-buckets of width `2^{e-3}` (relative quantile error
+//!   bounded by 12.5%).
+//!
+//! That is `64 + 58 * 8 = 528` buckets covering all of `u64`. The layout
+//! is a frozen part of the golden-file contract: changing it shifts every
+//! checked-in percentile column, so the boundary tests in this crate pin
+//! it bucket by bucket.
+
+/// Values below this are their own bucket.
+const LINEAR_MAX: u64 = 64;
+/// Sub-buckets per octave (`1 << SUB_BITS`).
+const SUB_BITS: u32 = 3;
+/// First octave exponent above the linear range.
+const FIRST_OCTAVE: u32 = 6;
+/// Total bucket count: 64 linear + 58 octaves * 8 sub-buckets.
+pub const NUM_BUCKETS: usize = 528;
+
+/// Bucket index for a latency value. Total order preserving: `a <= b`
+/// implies `bucket_index(a) <= bucket_index(b)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // 2^e <= v < 2^{e+1}, e >= 6
+        let sub = ((v - (1u64 << e)) >> (e - SUB_BITS)) as usize;
+        LINEAR_MAX as usize + ((e - FIRST_OCTAVE) as usize) * (1 << SUB_BITS) + sub
+    }
+}
+
+/// Largest value that maps into bucket `idx`; this is what quantiles
+/// report, so equal histograms always yield equal percentile bytes.
+pub fn bucket_upper(idx: usize) -> u64 {
+    debug_assert!(idx < NUM_BUCKETS);
+    if idx < LINEAR_MAX as usize {
+        idx as u64
+    } else {
+        let rel = idx - LINEAR_MAX as usize;
+        let e = (rel / (1 << SUB_BITS)) as u32 + FIRST_OCTAVE;
+        let sub = (rel % (1 << SUB_BITS)) as u64;
+        let width = 1u64 << (e - SUB_BITS);
+        // low + width - 1; for the topmost bucket this is exactly u64::MAX.
+        (1u64 << e) + sub * width + (width - 1)
+    }
+}
+
+/// Log-scale latency histogram with `u64` counts.
+///
+/// Merging is element-wise addition, so it is associative and commutative
+/// and involves no floats — parallel shards can be merged in any grouping
+/// and the quantiles come out byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// The bucket a value falls into (exposed for boundary-pinning tests
+    /// and bucket-exactness oracles).
+    pub fn bucket_of(v: u64) -> usize {
+        bucket_index(v)
+    }
+
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one latency observation (in rounds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Quantile in parts-per-million (`500_000` = p50, `999_000` = p99.9),
+    /// reported as the upper bound of the bucket holding the target rank.
+    /// Integer arithmetic throughout (`u128` intermediate, no overflow for
+    /// any `u64` total). Returns 0 for an empty histogram.
+    pub fn quantile_ppm(&self, ppm: u32) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (self.total as u128 * ppm as u128)
+            .div_ceil(1_000_000)
+            .clamp(1, self.total as u128);
+        let mut cum: u128 = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c as u128;
+            if cum >= target {
+                return bucket_upper(idx);
+            }
+        }
+        unreachable!("cumulative count reaches total")
+    }
+
+    /// Median latency (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile_ppm(500_000)
+    }
+
+    /// 99th-percentile latency (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile_ppm(990_000)
+    }
+
+    /// 99.9th-percentile latency (bucket upper bound).
+    pub fn p999(&self) -> u64 {
+        self.quantile_ppm(999_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_monotone_over_boundaries() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            71,
+            72,
+            127,
+            128,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            assert!(bucket_upper(idx) >= v, "upper bound below value at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn top_bucket_covers_u64_max() {
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+}

@@ -1,0 +1,21 @@
+//! Deterministic observability plane for the blockshard engines.
+//!
+//! Everything in this crate is integer-only on the record/merge path so
+//! that metrics output is byte-identical across worker-thread counts and
+//! across the `sim`/`net` engines: histograms count `u64` latencies into
+//! fixed log-scale buckets (merge = element-wise addition, trivially
+//! associative and commutative), quantiles resolve to exact bucket upper
+//! bounds, and the per-epoch timeline carries raw sums/maxima rather than
+//! averages. The only floats appear at the very edge, when a report
+//! formats `util_min_shard` for humans.
+//!
+//! The [`MetricsSink`] is the seam the schedulers and networked engines
+//! record through. It defaults to [`MetricsSink::Off`], in which state
+//! every hook is an empty match arm — existing goldens stay byte-identical
+//! because nothing is computed, allocated, or formatted.
+
+mod hist;
+mod sink;
+
+pub use hist::LatencyHist;
+pub use sink::{EpochRow, MetricsMode, MetricsRecorder, MetricsReport, MetricsSink};

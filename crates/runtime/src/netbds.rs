@@ -95,14 +95,17 @@ pub(crate) struct CommitEvent {
     pub generated: Round,
     pub commit_round: Round,
     pub txn: TxnId,
+    pub home: ShardId,
     pub committed: bool,
 }
 
 /// What one shard's slot hands back to the merge step (results are
-/// collected in shard order, so no index needs carrying).
+/// collected in shard order, so no index needs carrying). Sample layout:
+/// `[pending, epoch, cumulative byz flips, crashed-now flag]` for the
+/// epoch-hosted engine; the FDS engine documents its own layout.
 pub(crate) struct NodeResult {
     pub events: Vec<CommitEvent>,
-    pub samples: Vec<[u64; 4]>,
+    pub samples: Vec<[u64; 6]>,
     pub epoch: u64,
     pub max_epoch_len: u64,
     pub chain_ok: bool,
@@ -126,7 +129,7 @@ pub(crate) fn replay_events(
         while i < evs.len() && evs[i].round == round {
             let e = evs[i];
             if e.committed {
-                collector.record_commit(e.generated, e.commit_round);
+                collector.record_commit(e.generated, e.commit_round, e.home);
                 log.push((e.commit_round, e.txn));
             } else {
                 collector.record_abort();
@@ -244,7 +247,7 @@ struct ShardNode<'a> {
     policy: Box<dyn Scheduler>,
     assign_scratch: Vec<Vec<(TxnId, u32)>>,
     events: Vec<CommitEvent>,
-    samples: Vec<[u64; 4]>,
+    samples: Vec<[u64; 6]>,
     counters: FaultCounters,
 }
 
@@ -453,6 +456,7 @@ impl<'a> ShardNode<'a> {
                         generated,
                         commit_round: Round(commit_round),
                         txn,
+                        home: self.id,
                         committed: commit_all,
                     });
                 }
@@ -494,6 +498,7 @@ pub fn run_net_bds(
         faults,
         SchedulerKind::Bds,
         sys.shards,
+        false,
     )
 }
 
@@ -520,6 +525,7 @@ pub fn run_net_sched(
     faults: &FaultPlan,
     kind: SchedulerKind,
     workers: usize,
+    metrics: bool,
 ) -> NetOutcome {
     let mut adversary = Adversary::new(sys, map, *adv);
     run_net_sched_from(
@@ -532,6 +538,7 @@ pub fn run_net_sched(
         faults,
         kind,
         workers,
+        metrics,
     )
 }
 
@@ -550,6 +557,7 @@ pub fn run_net_sched_from(
     faults: &FaultPlan,
     kind: SchedulerKind,
     workers: usize,
+    metrics: bool,
 ) -> NetOutcome {
     sys.validate().expect("valid system config");
     assert_eq!(metric.shards(), sys.shards);
@@ -643,8 +651,14 @@ pub fn run_net_sched_from(
         } else {
             node.run_round(&mut slot.buf, &mut slot.port);
         }
-        node.samples
-            .push([node.injection.len() as u64 + node.undecided, 0, 0, 0]);
+        node.samples.push([
+            node.injection.len() as u64 + node.undecided,
+            node.epoch,
+            node.counters.byz_flips,
+            u64::from(crashed),
+            0,
+            0,
+        ]);
     });
 
     // Consuming a slot drops its port, flushing the shard's local message
@@ -665,13 +679,26 @@ pub fn run_net_sched_from(
         .collect();
 
     let mut collector = MetricsCollector::new(s);
+    if metrics {
+        collector.enable_metrics();
+    }
     let mut log = Vec::new();
     let mut cursors = vec![0usize; s];
     let mut pending_at_end = 0u64;
     for round in 0..total {
         replay_events(&mut collector, &res, round, &mut cursors, &mut log);
-        let total_pending: u64 = res.iter().map(|r| r.samples[round as usize][0]).sum();
+        let r = round as usize;
+        let total_pending: u64 = res.iter().map(|n| n.samples[r][0]).sum();
         collector.sample_pending(total_pending);
+        // Timeline sample, mirroring `BdsSim::step`'s: fault-free every
+        // shard observes the same epoch at the same absolute round (the
+        // rollover is an absolute round learned from the broadcast plan),
+        // so `max` equals the simulator's single epoch counter; under
+        // faults it reports the furthest live view.
+        let epoch = res.iter().map(|n| n.samples[r][1]).max().unwrap_or(0);
+        let byz: u64 = res.iter().map(|n| n.samples[r][2]).sum();
+        let crashed: u64 = res.iter().map(|n| n.samples[r][3]).sum();
+        collector.sink.on_round(epoch, total_pending, byz, crashed);
         pending_at_end = total_pending;
     }
 

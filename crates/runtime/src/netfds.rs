@@ -117,7 +117,7 @@ struct ShardNode<'a> {
     home_cluster_cache: Vec<Vec<Option<ClusterId>>>,
     policy: ColoringPolicy,
     events: Vec<CommitEvent>,
-    samples: Vec<[u64; 4]>,
+    samples: Vec<[u64; 6]>,
     counters: FaultCounters,
 }
 
@@ -377,13 +377,15 @@ impl<'a> ShardNode<'a> {
             generated: entry.txn.generated,
             commit_round: Round(now + worst),
             txn,
+            home: entry.txn.home,
             committed: commit,
         });
     }
 
     /// End-of-round sample: `[my leader-queue total, my active-leader
-    /// count, my cumulative injections, my cumulative resolutions]`.
-    fn sample(&self) -> [u64; 4] {
+    /// count, my cumulative injections, my cumulative resolutions, my
+    /// cumulative Byzantine flips, crashed-now flag (set by the caller)]`.
+    fn sample(&self) -> [u64; 6] {
         let (total, active) = self
             .leaders
             .values()
@@ -391,7 +393,14 @@ impl<'a> ShardNode<'a> {
             .fold((0u64, 0u64), |(t, n), st| {
                 (t + (st.sch_ldr.len() + st.incoming.len()) as u64, n + 1)
             });
-        [total, active, self.injected, self.resolved]
+        [
+            total,
+            active,
+            self.injected,
+            self.resolved,
+            self.counters.byz_flips,
+            0,
+        ]
     }
 }
 
@@ -405,6 +414,7 @@ pub fn run_net_fds(
     metric: &dyn ShardMetric,
     fcfg: FdsConfig,
     faults: &FaultPlan,
+    metrics: bool,
 ) -> NetOutcome {
     sys.validate().expect("valid system config");
     assert_eq!(metric.shards(), sys.shards);
@@ -499,7 +509,9 @@ pub fn run_net_fds(
         } else {
             node.run_round(&mut slot.buf, &mut slot.port);
         }
-        node.samples.push(node.sample());
+        let mut sample = node.sample();
+        sample[5] = u64::from(crashed);
+        node.samples.push(sample);
     });
 
     // Consuming a slot drops its port, flushing the shard's local message
@@ -520,6 +532,9 @@ pub fn run_net_fds(
         .collect();
 
     let mut collector = MetricsCollector::new(s);
+    if metrics {
+        collector.enable_metrics();
+    }
     let mut log = Vec::new();
     let mut cursors = vec![0usize; s];
     let mut outstanding_at_end = 0u64;
@@ -529,16 +544,25 @@ pub fn run_net_fds(
         let mut lead_active = 0u64;
         let mut injected = 0u64;
         let mut resolved = 0u64;
+        let mut byz = 0u64;
+        let mut crashed = 0u64;
         for r in &res {
-            let [t, a, i, c] = r.samples[round as usize];
+            let [t, a, i, c, b, x] = r.samples[round as usize];
             lead_total += t;
             lead_active += a;
             injected += i;
             resolved += c;
+            byz += b;
+            crashed += x;
         }
         let leader_avg = lead_total as f64 / lead_active.max(1) as f64;
         let outstanding = injected.saturating_sub(resolved);
         collector.sample_queue_value(leader_avg, outstanding);
+        // Timeline epoch = layer-0 epoch, exactly `FdsSim::step`'s
+        // derivation, so fault-free timelines mirror the simulator.
+        collector
+            .sink
+            .on_round(round / e0, outstanding, byz, crashed);
         outstanding_at_end = outstanding;
     }
 

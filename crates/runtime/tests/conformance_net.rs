@@ -86,7 +86,7 @@ fn net_reports_match_the_simulator_byte_for_byte() {
     let bcfg = BdsConfig::default();
     for kind in epoch_hosted_kinds() {
         let net = run_net_sched(
-            &sys, &map, &adv, rounds, &metric, bcfg, &faults, kind, sys.shards,
+            &sys, &map, &adv, rounds, &metric, bcfg, &faults, kind, sys.shards, false,
         );
         assert!(net.chains_verified, "{kind}: chain verification failed");
         let policy = kind
@@ -115,7 +115,7 @@ fn worker_count_never_changes_the_bytes() {
             .into_iter()
             .map(|workers| {
                 let out = run_net_sched(
-                    &sys, &map, &adv, rounds, &metric, bcfg, &faults, kind, workers,
+                    &sys, &map, &adv, rounds, &metric, bcfg, &faults, kind, workers, false,
                 );
                 report_fingerprint(&out.report)
             })

@@ -200,6 +200,7 @@ fn fds_matches_simulator_on_line_and_uniform() {
             metric.as_ref(),
             FdsConfig::default(),
             &FaultPlan::default(),
+            false,
         );
         let (sim, sim_log) = sim_fds(&sys, &map, &adv, 1500, metric.as_ref());
         assert!(sim.committed > 0, "fds/{name}: non-trivial");
@@ -228,6 +229,7 @@ fn fds_mirror_holds_under_bursty_and_rescheduling_workloads() {
         &metric,
         FdsConfig::default(),
         &FaultPlan::default(),
+        false,
     );
     let (sim, _) = sim_fds(&sys, &map, &adv, 2000, &metric);
     assert_reports_identical(&net.report, &sim, "fds/burst");
@@ -375,6 +377,7 @@ fn fds_faults_are_deterministic_and_counted() {
         &metric,
         FdsConfig::default(),
         &plan,
+        false,
     );
     let b = run_net_fds(
         &sys,
@@ -384,6 +387,7 @@ fn fds_faults_are_deterministic_and_counted() {
         &metric,
         FdsConfig::default(),
         &plan,
+        false,
     );
     assert_eq!(a.report.summary(), b.report.summary());
     assert_eq!(a.report.faults, b.report.faults);

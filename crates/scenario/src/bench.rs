@@ -38,6 +38,15 @@ use simnet::FaultPlan;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+/// Quick-mode micro-fixture warmup floor. A 3-sample median sits one
+/// noisy CI neighbor away from the 2x regression gate, so quick mode
+/// floors its samples; the campaign runner's timed probe uses the same
+/// pair, so both CI lanes gate on one sample discipline (regression-
+/// tested in `campaign::tests::probe_floor_matches_bench_quick_mode`).
+pub const QUICK_WARMUP_FLOOR: usize = 2;
+/// Quick-mode micro-fixture repeats floor — see [`QUICK_WARMUP_FLOOR`].
+pub const QUICK_REPEATS_FLOOR: usize = 5;
+
 /// Options of one `blockshard bench` invocation.
 #[derive(Debug, Clone)]
 pub struct BenchOpts {
@@ -443,14 +452,17 @@ pub fn run_fixtures(opts: &BenchOpts) -> Result<Vec<FixtureResult>, String> {
     };
     let mut results = Vec::new();
 
-    // Quick mode keeps micro fixtures cheap, but a 3-sample median sits
-    // one noisy CI neighbor away from the 2x regression gate (observed
-    // quick-mode spreads: bds_inner 37%, net_bds 27%). Floor the micro
-    // sample count so the median has outliers to shed; explicit
-    // single-shot runs (repeats <= 1, e.g. the determinism tests) are
-    // honored as written.
+    // Quick mode keeps micro fixtures cheap, but a low-sample median
+    // sits one noisy CI neighbor away from the 2x regression gate
+    // (observed quick-mode spreads: bds_inner 37%, net_bds 27%). Floor
+    // the micro sample count so the median has outliers to shed;
+    // explicit single-shot runs (repeats <= 1, e.g. the determinism
+    // tests) are honored as written.
     let (micro_warmup, micro_repeats) = if opts.quick && opts.repeats > 1 {
-        (opts.warmup.max(2), opts.repeats.max(5))
+        (
+            opts.warmup.max(QUICK_WARMUP_FLOOR),
+            opts.repeats.max(QUICK_REPEATS_FLOOR),
+        )
     } else {
         (opts.warmup, opts.repeats)
     };

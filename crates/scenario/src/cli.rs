@@ -3,6 +3,7 @@
 //! the figure-wrapper binaries in `bench`.
 
 use crate::bench;
+use crate::campaign;
 use crate::exec::{run_jobs, JobOutcome};
 use crate::parse::Scenario;
 use crate::report;
@@ -16,6 +17,7 @@ USAGE:
     blockshard check <FILE>...             parse + validate only
     blockshard list [DIR]                  list scenario files (default scenarios/)
     blockshard bench [FILTER...] [OPTIONS] run the performance fixtures
+    blockshard campaign <FAMILY> [OPTIONS] run a named scenario family
     blockshard help                        this text
 
 OPTIONS (run):
@@ -37,8 +39,22 @@ OPTIONS (bench):
                           the baseline (default 2.0; needs --baseline)
     FILTER                only fixtures whose name contains a FILTER
 
-Reports land in <out>/<scenario-name>.csv and .jsonl. See the scenario
-crate rustdoc or README.md for the scenario file grammar.";
+OPTIONS (campaign):
+    FAMILY           quick (the checked-in 200-round CI shape, golden-
+                     diffed) or full (the nightly long-round shape)
+    --threads N      worker threads (default: min(cores, jobs))
+    --out DIR        report directory (default: results/)
+    --rounds N       override rounds for every member (beats the family)
+    --set KEY=VALUE  override any base key (repeatable)
+    --scenarios DIR  member scenario directory (default scenarios/)
+    --timed          re-run each member's first job as a timed probe
+    --quiet          no per-job progress on stderr
+    --no-write       print the summary but write no report files
+
+Reports land in <out>/<scenario-name>.csv and .jsonl (campaign members
+with a `metrics = full` job also write <name>.metrics.jsonl, the
+per-epoch timeline). See the scenario crate rustdoc or README.md for
+the scenario file grammar.";
 
 /// Worker-thread default: available cores, capped by the job count.
 pub fn default_threads(jobs: usize) -> usize {
@@ -257,6 +273,13 @@ fn cmd_run(args: &[String]) -> i32 {
                 eprintln!("error: writing reports: {e}");
                 return 1;
             }
+            if let Some(timeline) = report::metrics_jsonl_string(&outcomes) {
+                let path = flags.out.join(format!("{}.metrics.jsonl", scenario.name));
+                if let Err(e) = report::write_report(&path, &timeline) {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    return 1;
+                }
+            }
             println!("reports: {} + {}", csv.display(), jsonl.display());
         }
     }
@@ -469,6 +492,96 @@ fn cmd_bench(args: &[String]) -> i32 {
     0
 }
 
+fn parse_campaign_flags(
+    args: &[String],
+) -> Result<(campaign::Family, campaign::CampaignOpts), String> {
+    let mut family: Option<campaign::Family> = None;
+    let mut opts = campaign::CampaignOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads takes a value")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not an integer"))?;
+                if opts.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out takes a value")?;
+                opts.out = PathBuf::from(v);
+            }
+            "--scenarios" => {
+                let v = it.next().ok_or("--scenarios takes a value")?;
+                opts.scenarios_dir = PathBuf::from(v);
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds takes a value")?;
+                v.parse::<u64>()
+                    .map_err(|_| format!("--rounds: `{v}` is not an integer"))?;
+                opts.sets.push(("rounds".to_string(), v.clone()));
+            }
+            "--set" => {
+                let v = it.next().ok_or("--set takes KEY=VALUE")?;
+                let (k, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set: `{v}` is not KEY=VALUE"))?;
+                opts.sets
+                    .push((k.trim().to_string(), val.trim().to_string()));
+            }
+            "--timed" => opts.timed = true,
+            "--quiet" => opts.quiet = true,
+            "--no-write" => opts.write = false,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            name => {
+                if family.is_some() {
+                    return Err(format!("campaign takes one family, got extra `{name}`"));
+                }
+                family = Some(name.parse()?);
+            }
+        }
+    }
+    let family = family.ok_or("campaign takes a family (quick or full)")?;
+    Ok((family, opts))
+}
+
+fn cmd_campaign(args: &[String]) -> i32 {
+    let (family, opts) = match parse_campaign_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let results = match campaign::run_campaign(family, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    println!("# campaign {}", family.name());
+    print!("{}", campaign::summary_table(&results));
+    if let Some(probes) = results
+        .iter()
+        .map(|r| r.probe_ns_per_round.map(|ns| (r.name.clone(), ns)))
+        .collect::<Option<Vec<_>>>()
+    {
+        for (name, ns) in probes {
+            eprintln!("probe: {name}: {:.0} ns/round (median)", ns);
+        }
+    }
+    if opts.write {
+        println!(
+            "reports: {}/<scenario>.csv + .jsonl (+ .metrics.jsonl for metrics = full)",
+            opts.out.display()
+        );
+    }
+    0
+}
+
 /// CLI entry point; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
@@ -477,6 +590,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("check") => cmd_check(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             i32::from(args.is_empty())
@@ -590,6 +704,45 @@ mod tests {
         assert!(bad(&["--repeats", "0"]).contains(">= 1"));
         assert!(bad(&["--max-regression", "0.5"]).contains("> 1"));
         assert!(bad(&["--baseline"]).contains("takes a value"));
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let args: Vec<String> = [
+            "quick",
+            "--threads",
+            "2",
+            "--out",
+            "camp",
+            "--set",
+            "seed=7",
+            "--timed",
+            "--quiet",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (family, opts) = parse_campaign_flags(&args).unwrap();
+        assert_eq!(family, campaign::Family::Quick);
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.out, PathBuf::from("camp"));
+        assert_eq!(opts.sets, vec![("seed".to_string(), "7".to_string())]);
+        assert!(opts.timed);
+        assert!(opts.quiet);
+        assert!(opts.write);
+    }
+
+    #[test]
+    fn campaign_flags_reject_bad_input() {
+        let bad = |args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_campaign_flags(&args).unwrap_err()
+        };
+        assert!(bad(&[]).contains("takes a family"));
+        assert!(bad(&["nightly"]).contains("unknown campaign family"));
+        assert!(bad(&["quick", "full"]).contains("one family"));
+        assert!(bad(&["quick", "--wat"]).contains("unknown flag"));
+        assert!(bad(&["quick", "--threads", "0"]).contains(">= 1"));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 use crate::spec::JobSpec;
 use adversary::{Adversary, MempoolStats, RoundSource};
 use runtime::{run_net_fds, run_net_sched, run_net_sched_from, EngineKind};
-use schedulers::baseline::{run_fcfs, FcfsConfig};
+use schedulers::baseline::{FcfsConfig, FcfsSim};
 use schedulers::bds::{BdsConfig, BdsSim};
 use schedulers::driver::{drive, drive_with};
-use schedulers::fds::{run_fds, FdsConfig, FdsSim};
+use schedulers::fds::{FdsConfig, FdsSim};
 use schedulers::history::check_cross_shard_order;
 use schedulers::{RunReport, SchedulerKind};
 use sharding_core::Round;
@@ -82,6 +82,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                     metric.as_ref(),
                     fds_config(spec),
                     &faults,
+                    spec.metrics.enabled(),
                 )
                 .report,
                 None,
@@ -103,6 +104,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                         &faults,
                         kind,
                         spec.shards,
+                        spec.metrics.enabled(),
                     )
                     .report;
                     (report, pipeline.stats())
@@ -117,6 +119,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                         &faults,
                         kind,
                         spec.shards,
+                        spec.metrics.enabled(),
                     )
                     .report;
                     (report, None)
@@ -137,6 +140,9 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 // Drive the simulator by hand so the full transaction set
                 // is available to the order checker afterwards.
                 let mut sim = FdsSim::new(&sys, &map, fcfg, metric.as_ref());
+                if spec.metrics.enabled() {
+                    sim.enable_metrics();
+                }
                 let mut adversary = Adversary::new(&sys, &map, adv);
                 let mut all = BTreeMap::new();
                 for r in 0..spec.rounds {
@@ -149,18 +155,22 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 let violations = check_cross_shard_order(sim.chains(), &all).len() as u64;
                 (sim.finish(), Some(violations), None)
             } else {
-                (
-                    run_fds(&sys, &map, &adv, rounds, metric.as_ref(), fcfg),
-                    None,
-                    None,
-                )
+                let mut sim = FdsSim::new(&sys, &map, fcfg, metric.as_ref());
+                if spec.metrics.enabled() {
+                    sim.enable_metrics();
+                }
+                (drive(sim, &sys, &map, &adv, rounds), None, None)
             }
         }
         SchedulerKind::Fcfs => {
             let fcfg = FcfsConfig {
                 respect_capacity: spec.respect_capacity,
             };
-            (run_fcfs(&sys, &map, &adv, rounds, fcfg), None, None)
+            let mut sim = FcfsSim::new(&sys, fcfg);
+            if spec.metrics.enabled() {
+                sim.enable_metrics();
+            }
+            (drive(sim, &sys, &map, &adv, rounds), None, None)
         }
         // BDS proper and every zoo policy share the epoch host; the
         // factory is the single registration point (`run_bds_with_metric`
@@ -171,7 +181,10 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 .epoch_policy(bcfg.coloring, sys.accounts, sys.shards)
                 .expect("non-policy kinds have explicit arms above");
             let metric_ref = metric.as_ref();
-            let sim = BdsSim::with_policy(&sys, &map, bcfg, metric_ref, policy);
+            let mut sim = BdsSim::with_policy(&sys, &map, bcfg, metric_ref, policy);
+            if spec.metrics.enabled() {
+                sim.enable_metrics();
+            }
             if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
                 let report = drive_with(sim, &mut pipeline, rounds);
                 (report, None, pipeline.stats())

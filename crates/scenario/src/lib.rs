@@ -81,6 +81,7 @@
 //! | `epoch-scale` | FDS epoch constant `c` | `1` |
 //! | `respect-capacity` | `true` \| `false` (FCFS) | `true` |
 //! | `check-order` | verify cross-shard serialization order (FDS) | `false` |
+//! | `metrics` | `off` \| `summary` \| `full` — latency histograms, utilization floor, and (`full`) the per-epoch JSONL timeline | `off` |
 //!
 //! Two spellings resolve against the rest of the job rather than in
 //! isolation: `strategy = count-burst:auto` becomes the paper's Section 7
@@ -96,6 +97,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod campaign;
 pub mod cli;
 pub mod exec;
 pub mod parse;

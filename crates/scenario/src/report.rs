@@ -20,14 +20,14 @@ pub const CSV_HEADER: &str = "scenario,job,scheduler,metric,shards,accounts,k,ro
 strategy,shape,seed,coloring,generated,committed,aborted,pending_at_end,avg_queue_per_shard,\
 avg_latency,max_latency,max_total_pending,epochs,max_epoch_len,messages,max_message_bytes,\
 verdict,order_violations,crashes,dropped_msgs,duplicated_msgs,byz_flips,\
-mempool_depth_max,admitted,deferred,evicted";
+mempool_depth_max,admitted,deferred,evicted,lat_p50,lat_p99,lat_p999,util_min_shard";
 
 /// One CSV data row (no trailing newline).
 pub fn csv_row(o: &JobOutcome) -> String {
     let s = &o.spec;
     let r = &o.report;
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{},{},{}",
         s.scenario,
         s.index,
         s.scheduler,
@@ -68,6 +68,18 @@ pub fn csv_row(o: &JobOutcome) -> String {
         // from a firehose run that genuinely admitted everything.
         match &o.mempool {
             Some(m) => format!("{},{},{},{}", m.depth_max, m.admitted, m.deferred, m.evicted),
+            None => ",,,".to_string(),
+        },
+        // Same convention for the four metrics-plane columns: empty for
+        // jobs that ran with `metrics = off`, never a fake zero.
+        match &r.metrics {
+            Some(m) => format!(
+                "{},{},{},{:.4}",
+                m.lat_p50(),
+                m.lat_p99(),
+                m.lat_p999(),
+                m.util_min_shard()
+            ),
             None => ",,,".to_string(),
         },
     )
@@ -146,6 +158,12 @@ pub fn json_line(o: &JobOutcome) -> String {
         fields.push(format!("\"deferred\":{}", m.deferred));
         fields.push(format!("\"evicted\":{}", m.evicted));
     }
+    if let Some(m) = &r.metrics {
+        fields.push(format!("\"lat_p50\":{}", m.lat_p50()));
+        fields.push(format!("\"lat_p99\":{}", m.lat_p99()));
+        fields.push(format!("\"lat_p999\":{}", m.lat_p999()));
+        fields.push(format!("\"util_min_shard\":{:.4}", m.util_min_shard()));
+    }
     format!("{{{}}}", fields.join(","))
 }
 
@@ -157,6 +175,41 @@ pub fn jsonl_string(outcomes: &[JobOutcome]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// The per-epoch timeline document for `metrics = full` jobs: one JSON
+/// object per `(job, epoch)`, in job then epoch order. Jobs that ran at
+/// `off`/`summary` contribute no lines; an all-`off` run yields `None`
+/// (no file should be written at all).
+pub fn metrics_jsonl_string(outcomes: &[JobOutcome]) -> Option<String> {
+    let mut out = String::new();
+    let mut any = false;
+    for o in outcomes {
+        if o.spec.metrics != metrics::MetricsMode::Full {
+            continue;
+        }
+        let Some(m) = &o.report.metrics else { continue };
+        any = true;
+        for row in &m.timeline {
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"job\":{},\"epoch\":{},\"start_round\":{},\
+                 \"rounds\":{},\"commits\":{},\"aborts\":{},\"pending_max\":{},\
+                 \"pending_sum\":{},\"byz_flips\":{},\"crashed_shards_max\":{}}}\n",
+                json_escape(&o.spec.scenario),
+                o.spec.index,
+                row.epoch,
+                row.start_round,
+                row.rounds,
+                row.commits,
+                row.aborts,
+                row.pending_max,
+                row.pending_sum,
+                row.byz_flips,
+                row.crashed_shards_max,
+            ));
+        }
+    }
+    any.then_some(out)
 }
 
 /// Writes `content` to `path`, creating parent directories.

@@ -6,6 +6,7 @@ use adversary::{
 };
 use cluster::MetricKind;
 use conflict::ColoringStrategy;
+use metrics::MetricsMode;
 use runtime::EngineKind;
 use schedulers::SchedulerKind;
 use sharding_core::{bounds, AccountMap, Round, ShardId, SystemConfig};
@@ -115,6 +116,7 @@ pub(crate) struct JobDraft {
     pub mempool: Option<usize>,
     pub stream: Option<String>,
     pub offered: Option<u64>,
+    pub metrics: MetricsMode,
 }
 
 impl Default for JobDraft {
@@ -152,6 +154,7 @@ impl Default for JobDraft {
             mempool: None,
             stream: None,
             offered: None,
+            metrics: MetricsMode::Off,
         }
     }
 }
@@ -222,6 +225,7 @@ impl JobDraft {
                 self.stream = Some(value.into());
             }
             "offered" => self.offered = Some(parse_num(value, "an integer")?),
+            "metrics" => self.metrics = value.parse()?,
             other => return Err(format!("unknown key `{other}`")),
         }
         Ok(())
@@ -378,6 +382,7 @@ impl JobDraft {
             mempool: self.mempool,
             stream,
             offered: self.offered,
+            metrics: self.metrics,
         };
         spec.system_config().validate().map_err(|e| e.to_string())?;
         spec.metric.build(spec.shards)?;
@@ -466,6 +471,10 @@ pub struct JobSpec {
     /// Firehose: transactions offered per round (`None` = saturation
     /// default, 4× the `(ρ, b)`-sustainable rate).
     pub offered: Option<u64>,
+    /// How much of the metrics plane to record (`off` keeps every legacy
+    /// byte untouched; `summary` fills the percentile columns; `full`
+    /// additionally emits the per-epoch timeline JSONL).
+    pub metrics: MetricsMode,
 }
 
 impl JobSpec {
@@ -572,8 +581,13 @@ impl JobSpec {
             }
             _ => String::new(),
         };
+        // Likewise the metrics token appears only when the plane is on.
+        let metrics = match self.metrics {
+            MetricsMode::Off => String::new(),
+            mode => format!("metrics={mode} "),
+        };
         format!(
-            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} {firehose}[{}]",
+            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} {firehose}{metrics}[{}]",
             self.index,
             self.scheduler,
             self.engine,

@@ -133,3 +133,45 @@ fn firehose_same_bytes_across_thread_counts() {
         );
     }
 }
+
+#[test]
+fn campaign_same_bytes_across_thread_counts() {
+    // The campaign members are the widest determinism surface in the
+    // repo: metrics histograms, per-epoch timelines, the fault plane,
+    // and (combined_stress) the ingestion plane, all at once. Every
+    // report document — CSV, JSONL, and the metrics timeline — must be
+    // byte-identical at 1, 2, and 8 worker threads; this is the
+    // acceptance gate for `blockshard campaign quick --threads N`.
+    for name in scenario::campaign::CAMPAIGN_SCENARIOS {
+        let scenario = checked_in(&format!("{name}.scenario"));
+        let jobs = scenario.jobs().unwrap();
+
+        let single = run_jobs(&jobs, 1, false);
+        assert!(
+            single.iter().all(|o| o.report.metrics.is_some()),
+            "{name}: every campaign job runs with the metrics plane on"
+        );
+        let csv1 = report::csv_string(&single);
+        let jsonl1 = report::jsonl_string(&single);
+        let timeline1 = report::metrics_jsonl_string(&single);
+
+        for threads in [2, 8] {
+            let multi = run_jobs(&jobs, threads, false);
+            assert_eq!(
+                csv1,
+                report::csv_string(&multi),
+                "{name}: campaign CSV bytes changed at {threads} threads"
+            );
+            assert_eq!(
+                jsonl1,
+                report::jsonl_string(&multi),
+                "{name}: campaign JSONL bytes changed at {threads} threads"
+            );
+            assert_eq!(
+                timeline1,
+                report::metrics_jsonl_string(&multi),
+                "{name}: metrics timeline bytes changed at {threads} threads"
+            );
+        }
+    }
+}

@@ -180,6 +180,90 @@ fn firehose_zipf_report_matches_golden() {
     );
 }
 
+/// The campaign goldens: every member of `blockshard campaign quick`
+/// at its checked-in 200-round shape. 200 rounds IS the base
+/// `rounds =` of every campaign scenario, so the campaign runner
+/// reproduces these files byte for byte — the CI campaign-smoke job
+/// diffs all five against a real `campaign quick --threads 2` run.
+/// Beyond byte-equality, every row must carry *non-empty* percentile
+/// and utilization columns: the campaign exists to exercise the
+/// metrics plane, so a row silently falling back to `metrics = off`
+/// (four trailing empty fields) is a bug even if the golden matches.
+/// Regenerate after an intentional behavior change with:
+///
+/// ```sh
+/// cargo run --release --bin blockshard -- campaign quick --out /tmp/camp
+/// cp /tmp/camp/flash-crowd.csv crates/scenario/tests/golden/flash_crowd_rounds200.csv
+/// cp /tmp/camp/gray-partition.csv crates/scenario/tests/golden/gray_partition_rounds200.csv
+/// cp /tmp/camp/rolling-crash.csv crates/scenario/tests/golden/rolling_crash_rounds200.csv
+/// cp /tmp/camp/byz-ramp.csv crates/scenario/tests/golden/byz_ramp_rounds200.csv
+/// cp /tmp/camp/combined-stress.csv crates/scenario/tests/golden/combined_stress_rounds200.csv
+/// ```
+fn check_campaign_golden(scenario_file: &str, golden: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let scenario = Scenario::load(&dir.join("../../scenarios").join(scenario_file)).unwrap();
+    let jobs = scenario.jobs().unwrap();
+    let outcomes = run_jobs(&jobs, 2, false);
+    let got = report::csv_string(&outcomes);
+    let want = std::fs::read_to_string(dir.join("tests/golden").join(golden)).unwrap();
+    assert_eq!(
+        got, want,
+        "campaign report for `{scenario_file}` drifted from its golden file \
+         (see the docs above to regenerate)"
+    );
+    for row in got.lines().skip(1) {
+        let cols: Vec<&str> = row.split(',').collect();
+        let tail = &cols[cols.len() - 4..];
+        assert!(
+            tail.iter().all(|c| !c.is_empty()),
+            "campaign row lost its percentile/utilization columns: {row}"
+        );
+    }
+}
+
+#[test]
+fn flash_crowd_campaign_matches_golden() {
+    check_campaign_golden("flash_crowd.scenario", "flash_crowd_rounds200.csv");
+}
+
+#[test]
+fn gray_partition_campaign_matches_golden() {
+    check_campaign_golden("gray_partition.scenario", "gray_partition_rounds200.csv");
+}
+
+#[test]
+fn rolling_crash_campaign_matches_golden() {
+    check_campaign_golden("rolling_crash.scenario", "rolling_crash_rounds200.csv");
+}
+
+#[test]
+fn byz_ramp_campaign_matches_golden() {
+    check_campaign_golden("byz_ramp.scenario", "byz_ramp_rounds200.csv");
+}
+
+#[test]
+fn combined_stress_campaign_matches_golden() {
+    check_campaign_golden("combined_stress.scenario", "combined_stress_rounds200.csv");
+}
+
+/// The engine-interchangeability guarantee extended to the metrics
+/// plane: `flash_crowd` is a fault-free `engine = net` campaign member
+/// with `metrics = full`, and overriding the engine back to `sim` must
+/// reproduce the **networked** golden byte for byte — percentile and
+/// utilization columns included. The net engines replay per-shard
+/// commit events through the same collector in simulator order, so the
+/// histograms see identical sequences; this test is where that claim
+/// is pinned on a real scenario.
+#[test]
+fn flash_crowd_with_sim_engine_is_byte_identical() {
+    check_report_golden_at(
+        "flash_crowd.scenario",
+        "flash_crowd_rounds200.csv",
+        200,
+        &[("engine".to_string(), "sim".to_string())],
+    );
+}
+
 #[test]
 fn every_checked_in_scenario_parses_and_plans() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
@@ -194,7 +278,7 @@ fn every_checked_in_scenario_parses_and_plans() {
         }
     }
     assert!(
-        count >= 19,
+        count >= 24,
         "expected the shipped scenario set, found {count}"
     );
 }

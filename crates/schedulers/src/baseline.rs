@@ -61,6 +61,12 @@ impl FcfsSim {
         &self.committed_log
     }
 
+    /// Turns the metrics plane on. FCFS has no epochs, so its timeline is
+    /// a single epoch-0 row.
+    pub fn enable_metrics(&mut self) {
+        self.collector.enable_metrics();
+    }
+
     /// Executes one round: inject `new_txns`, then greedily commit a
     /// maximal conflict-free set in id (FIFO) order.
     pub fn step(&mut self, new_txns: Vec<Transaction>) {
@@ -93,10 +99,13 @@ impl FcfsSim {
         }
         for id in chosen {
             let t = self.pending.remove(&id).expect("chosen from pending");
-            self.collector.record_commit(t.generated, now);
+            let home = t.home;
+            self.collector.record_commit(t.generated, now, home);
             self.committed_log.push((now, id));
         }
-        self.collector.sample_pending(self.pending.len() as u64);
+        let pending = self.pending.len() as u64;
+        self.collector.sample_pending(pending);
+        self.collector.sink.on_round(0, pending, 0, 0);
         self.now = self.now.next();
     }
 

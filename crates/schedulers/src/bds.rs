@@ -241,6 +241,13 @@ impl BdsSim {
         self.epoch
     }
 
+    /// Turns the metrics plane on (percentile histogram, per-shard
+    /// utilization, epoch timeline). Off by default; enabling it changes
+    /// nothing about scheduling decisions or legacy report bytes.
+    pub fn enable_metrics(&mut self) {
+        self.collector.enable_metrics();
+    }
+
     /// The leader shard of the current epoch.
     pub fn leader(&self) -> ShardId {
         if self.bcfg.rotate_leader {
@@ -354,8 +361,14 @@ impl BdsSim {
             }
         }
 
-        // 7. Metrics.
-        self.collector.sample_pending(self.total_pending());
+        // 7. Metrics. The sink's fault counters stay zero here: the
+        //    simulator is fault-free by construction, and fault-free
+        //    networked runs mirror these exact bytes.
+        let total_pending = self.total_pending();
+        self.collector.sample_pending(total_pending);
+        self.collector
+            .sink
+            .on_round(self.epoch, total_pending, 0, 0);
         self.now = self.now.next();
     }
 
@@ -519,6 +532,7 @@ impl BdsSim {
                     self.undecided -= 1;
                     let commit_all = !e.abort;
                     let generated = e.txn.generated;
+                    let home = e.txn.home;
                     for dest in e.txn.shards() {
                         self.net.send(
                             to,
@@ -535,7 +549,7 @@ impl BdsSim {
                         .now
                         .plus(self.net.distance(to, e.txn.subs[0].dest).max(1));
                     if commit_all {
-                        self.collector.record_commit(generated, commit_round);
+                        self.collector.record_commit(generated, commit_round, home);
                         self.committed_log.push((commit_round, txn));
                     } else {
                         self.collector.record_abort();

@@ -365,6 +365,12 @@ impl FdsSim {
         &self.committed_log
     }
 
+    /// Turns the metrics plane on (percentile histogram, per-shard
+    /// utilization, layer-0-epoch timeline). Off by default.
+    pub fn enable_metrics(&mut self) {
+        self.collector.enable_metrics();
+    }
+
     /// Executes one round.
     pub fn step(&mut self, new_txns: Vec<Transaction>) {
         let now = self.now;
@@ -420,6 +426,11 @@ impl FdsSim {
         let leader_avg = lead_total as f64 / lead_active.max(1) as f64;
         self.collector
             .sample_queue_value(leader_avg, self.outstanding);
+        // The timeline's epoch is the layer-0 epoch, matching `finish()`'s
+        // `epochs` quantity and the networked engine's derivation.
+        self.collector
+            .sink
+            .on_round(now.raw() / self.e0, self.outstanding, 0, 0);
         self.now = self.now.next();
     }
 
@@ -713,7 +724,7 @@ impl FdsSim {
         let commit_round = now.plus(worst);
         if commit {
             self.collector
-                .record_commit(entry.txn.generated, commit_round);
+                .record_commit(entry.txn.generated, commit_round, entry.txn.home);
             self.committed_log.push((commit_round, txn));
         } else {
             self.collector.record_abort();

@@ -1,10 +1,11 @@
 //! Per-run measurement report shared by every scheduler.
 
+use ::metrics::{MetricsReport, MetricsSink};
 use serde::{Deserialize, Serialize};
 use sharding_core::stats::{
     Histogram, RunningStats, StabilityDetector, StabilityVerdict, TimeSeries,
 };
-use sharding_core::Round;
+use sharding_core::{Round, ShardId};
 use simnet::FaultCounters;
 
 /// Which scheduler produced a report.
@@ -178,6 +179,11 @@ pub struct RunReport {
     /// Latency histogram (bucket width 50 rounds).
     #[serde(skip)]
     pub latency_hist: Histogram,
+    /// Detailed metrics-plane output (log-scale latency quantiles,
+    /// per-shard utilization, epoch timeline) when the sink was enabled;
+    /// `None` — the default — leaves every legacy byte untouched.
+    #[serde(skip)]
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RunReport {
@@ -220,6 +226,12 @@ pub struct MetricsCollector {
     max_latency: u64,
     committed: u64,
     aborted: u64,
+    /// The metrics-plane seam. Off by default (every hook a no-op); the
+    /// scenario executor enables it for `metrics = summary|full` jobs.
+    /// Both engines record through this collector — the networked engine
+    /// replays commits in the simulator's global order — so anything the
+    /// sink sees is automatically thread- and engine-byte-deterministic.
+    pub sink: MetricsSink,
 }
 
 impl MetricsCollector {
@@ -234,7 +246,13 @@ impl MetricsCollector {
             max_latency: 0,
             committed: 0,
             aborted: 0,
+            sink: MetricsSink::Off,
         }
+    }
+
+    /// Turns the metrics plane on for this run.
+    pub fn enable_metrics(&mut self) {
+        self.sink = MetricsSink::enabled(self.shards);
     }
 
     /// Samples the total number of pending transactions for this round;
@@ -254,18 +272,21 @@ impl MetricsCollector {
         self.total_pending_max = self.total_pending_max.max(total_pending);
     }
 
-    /// Records a commit with the given generation and commit rounds.
-    pub fn record_commit(&mut self, generated: Round, committed: Round) {
+    /// Records a commit of a transaction homed at `home` with the given
+    /// generation and commit rounds.
+    pub fn record_commit(&mut self, generated: Round, committed: Round, home: ShardId) {
         let lat = committed.since(generated);
         self.latency.push(lat as f64);
         self.latency_hist.record(lat as f64);
         self.max_latency = self.max_latency.max(lat);
         self.committed += 1;
+        self.sink.on_commit(home.index(), lat);
     }
 
     /// Records an abort decision.
     pub fn record_abort(&mut self) {
         self.aborted += 1;
+        self.sink.on_abort();
     }
 
     /// Commits so far.
@@ -292,6 +313,7 @@ impl MetricsCollector {
         max_message_bytes: u64,
     ) -> RunReport {
         let verdict = StabilityDetector::default().classify(&self.queue_series);
+        let metrics = self.sink.finish();
         RunReport {
             scheduler,
             rounds,
@@ -311,6 +333,7 @@ impl MetricsCollector {
             verdict,
             queue_series: self.queue_series,
             latency_hist: self.latency_hist,
+            metrics,
         }
     }
 }
@@ -387,8 +410,8 @@ mod tests {
         let mut c = MetricsCollector::new(4);
         c.sample_pending(8);
         c.sample_pending(4);
-        c.record_commit(Round(10), Round(25));
-        c.record_commit(Round(0), Round(5));
+        c.record_commit(Round(10), Round(25), ShardId(0));
+        c.record_commit(Round(0), Round(5), ShardId(1));
         c.record_abort();
         let r = c.finish(SchedulerKind::Bds, 2, 3, 0, 1, 2, 10, 128);
         assert_eq!(r.committed, 2);
