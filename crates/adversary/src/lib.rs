@@ -25,6 +25,9 @@
 //!   buckets on the *live* admission path.
 //! * [`stream`] — firehose producers that stream Zipf and
 //!   shifting-hotspot account distributions lazily over millions of ids.
+//! * [`reshard`] — the placement-following adapter that re-homes and
+//!   regroups any source's output under a live reshard plan's versioned
+//!   vnode tables.
 //! * [`validate`] — an `O(T·s)` sliding-window validator that checks a
 //!   recorded trace against `ρt + b` over *every* window, used by tests and
 //!   by downstream consumers that want end-to-end assurance.
@@ -37,6 +40,7 @@
 pub mod budget;
 pub mod generator;
 pub mod mempool;
+pub mod reshard;
 pub mod strategy;
 pub mod stream;
 pub mod validate;
@@ -44,6 +48,7 @@ pub mod validate;
 pub use budget::ShardBudgets;
 pub use generator::{Adversary, AdversaryConfig, WorkloadShape};
 pub use mempool::{IngestPipeline, Mempool, MempoolStats, RoundSource};
+pub use reshard::ReshardSource;
 pub use strategy::{AliasTable, StrategyKind};
 pub use stream::{saturation_offered, StreamKind, StreamSource};
 pub use validate::{tightest_burstiness, validate_trace, TraceRecorder};

@@ -141,4 +141,104 @@ proptest! {
 
         prop_assert_eq!(run(offers), run(shuffled));
     }
+
+    /// A capacity-1 lane is a running maximum under (fee desc, id asc):
+    /// whatever the offer order, each lane retains exactly the winning
+    /// transaction, and every other offer into a non-empty lane counts
+    /// as one eviction — the degenerate bound where backpressure fires
+    /// on *every* contested insert.
+    #[test]
+    fn capacity_one_lane_retains_exactly_the_max(
+        fees in proptest::collection::vec(0u8..8, 1..40),
+        swaps in proptest::collection::vec(0usize..40, 0..40),
+    ) {
+        let (_, map) = small_sys(2, 8);
+        let offers: Vec<(u8, Transaction)> = fees
+            .iter()
+            .enumerate()
+            .map(|(i, &fee)| {
+                let home = ShardId((i % 2) as u32);
+                let t = Transaction::writing_shards(
+                    TxnId(i as u64), home, Round::ZERO, &map, &[home],
+                )
+                .unwrap();
+                (fee, t)
+            })
+            .collect();
+        let shuffled = permute(offers.clone(), &swaps);
+
+        let mut pool = Mempool::new(2, 1);
+        for (fee, txn) in shuffled {
+            pool.offer(fee, txn);
+        }
+
+        // Oracle: the per-lane winner under (fee desc, id asc), computed
+        // over the *unshuffled* offers.
+        let winner = |lane: u32| -> Option<u64> {
+            offers
+                .iter()
+                .filter(|(_, t)| t.home == ShardId(lane))
+                .max_by_key(|(fee, t)| (*fee, std::cmp::Reverse(t.id)))
+                .map(|(_, t)| t.id.0)
+        };
+        let expected: Vec<u64> = (0..2).filter_map(winner).collect();
+        let retained = expected.len();
+        prop_assert_eq!(pool.depth(), retained);
+        prop_assert_eq!(
+            pool.stats().evicted as usize,
+            offers.len() - retained,
+            "every contested offer evicts exactly one loser"
+        );
+
+        let mut budgets = ShardBudgets::new(2, 1.0, 100);
+        budgets.tick();
+        let drained: Vec<u64> = pool
+            .drain(&mut budgets, Round::ZERO)
+            .iter()
+            .map(|t| t.id.0)
+            .collect();
+        prop_assert_eq!(drained, expected, "lane 0 then lane 1 at round 0");
+    }
+
+    /// Within a single fee class a full lane is FIFO: it keeps the
+    /// `capacity` smallest ids it was ever offered (ids are assigned in
+    /// generation order), whatever the arrival order, and drains them in
+    /// ascending id order.
+    #[test]
+    fn fee_tie_eviction_keeps_the_earliest_ids(
+        n in 1usize..40,
+        fee in 0u8..8,
+        capacity in 1usize..6,
+        swaps in proptest::collection::vec(0usize..40, 0..40),
+    ) {
+        let (_, map) = small_sys(1, 4);
+        let offers: Vec<(u8, Transaction)> = (0..n)
+            .map(|i| {
+                let t = Transaction::writing_shards(
+                    TxnId(i as u64), ShardId(0), Round::ZERO, &map, &[ShardId(0)],
+                )
+                .unwrap();
+                (fee, t)
+            })
+            .collect();
+        let shuffled = permute(offers, &swaps);
+
+        let mut pool = Mempool::new(1, capacity);
+        for (f, t) in shuffled {
+            pool.offer(f, t);
+        }
+        let kept = n.min(capacity);
+        prop_assert_eq!(pool.depth(), kept);
+        prop_assert_eq!(pool.stats().evicted as usize, n.saturating_sub(capacity));
+
+        let mut budgets = ShardBudgets::new(1, 1.0, 100);
+        budgets.tick();
+        let drained: Vec<u64> = pool
+            .drain(&mut budgets, Round::ZERO)
+            .iter()
+            .map(|t| t.id.0)
+            .collect();
+        let expected: Vec<u64> = (0..kept as u64).collect();
+        prop_assert_eq!(drained, expected, "fee ties retain and drain FIFO by id");
+    }
 }

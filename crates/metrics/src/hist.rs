@@ -84,8 +84,18 @@ impl LatencyHist {
 
     /// Records one latency observation (in rounds).
     pub fn record(&mut self, v: u64) {
-        self.counts[bucket_index(v)] += 1;
-        self.total += 1;
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations at once — bulk ingestion for
+    /// replay paths and for exercising near-`u64::MAX` totals in tests
+    /// without `u64::MAX` loop iterations.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        self.counts[bucket_index(v)] += n;
+        self.total = self
+            .total
+            .checked_add(n)
+            .expect("latency histogram total overflowed u64");
     }
 
     /// Element-wise merge of another histogram into this one.
@@ -107,16 +117,24 @@ impl LatencyHist {
     }
 
     /// Quantile in parts-per-million (`500_000` = p50, `999_000` = p99.9),
-    /// reported as the upper bound of the bucket holding the target rank.
-    /// Integer arithmetic throughout (`u128` intermediate, no overflow for
-    /// any `u64` total). Returns 0 for an empty histogram.
+    /// reported as the upper bound of the bucket holding the target rank
+    /// `ceil(total * ppm / 1_000_000)`. Integer arithmetic throughout
+    /// (`u128` intermediate, no overflow for any `u64` total).
+    ///
+    /// Edges are pinned, not accidental: an empty histogram and `ppm = 0`
+    /// both return 0 (the 0th quantile of any distribution is the empty
+    /// infimum, never a recorded value), `ppm >= 1_000_000` saturates at
+    /// the maximum recorded bucket, and a single observation answers
+    /// every `ppm >= 1` with its own bucket.
     pub fn quantile_ppm(&self, ppm: u32) -> u64 {
-        if self.total == 0 {
+        if self.total == 0 || ppm == 0 {
             return 0;
         }
+        // ppm >= 1 makes the ceiling at least 1; the min() saturates
+        // ppm > 1_000_000 at the max recorded value.
         let target = (self.total as u128 * ppm as u128)
             .div_ceil(1_000_000)
-            .clamp(1, self.total as u128);
+            .min(self.total as u128);
         let mut cum: u128 = 0;
         for (idx, &c) in self.counts.iter().enumerate() {
             cum += c as u128;
@@ -184,5 +202,90 @@ mod tests {
     fn top_bucket_covers_u64_max() {
         assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
         assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    /// Exact sorted-array oracle: rank `ceil(total * ppm / 1e6)` into
+    /// the sorted observations, then the bucket upper bound of that
+    /// element. Values below LINEAR_MAX have exact buckets, so oracle
+    /// and histogram must agree to the byte.
+    fn oracle(values: &mut [u64], ppm: u32) -> u64 {
+        if values.is_empty() || ppm == 0 {
+            return 0;
+        }
+        values.sort_unstable();
+        let rank = ((values.len() as u128 * ppm as u128).div_ceil(1_000_000))
+            .min(values.len() as u128)
+            .max(1) as usize;
+        bucket_upper(bucket_index(values[rank - 1]))
+    }
+
+    #[test]
+    fn quantiles_match_sorted_oracle_exactly() {
+        let mut h = LatencyHist::new();
+        let mut values: Vec<u64> = (0..50).map(|i| (i * 7 + 3) % 60).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for ppm in [0, 1, 10_000, 250_000, 500_000, 990_000, 999_000, 1_000_000] {
+            assert_eq!(h.quantile_ppm(ppm), oracle(&mut values, ppm), "ppm = {ppm}");
+        }
+    }
+
+    #[test]
+    fn ppm_zero_is_zero_even_with_data() {
+        let mut h = LatencyHist::new();
+        h.record(40);
+        h.record(50);
+        assert_eq!(h.quantile_ppm(0), 0, "0th quantile is never a sample");
+        assert_eq!(LatencyHist::new().quantile_ppm(0), 0);
+    }
+
+    #[test]
+    fn single_observation_answers_every_quantile() {
+        let mut h = LatencyHist::new();
+        h.record(37);
+        // total = 1: rank ceil(1 * ppm / 1e6) = 1 for every ppm >= 1,
+        // so the lone sample IS p50, p99, and p99.9.
+        for ppm in [1, 500_000, 990_000, 999_000, 1_000_000] {
+            assert_eq!(h.quantile_ppm(ppm), 37, "ppm = {ppm}");
+        }
+        assert_eq!(h.p999(), 37);
+    }
+
+    #[test]
+    fn u128_intermediate_survives_u64_max_total() {
+        // total * ppm at the overflow boundary: u64::MAX observations
+        // times 1e6 overflows u64 by far but must not overflow the
+        // u128 intermediate or misrank.
+        let mut h = LatencyHist::new();
+        h.record_n(10, u64::MAX - 1);
+        h.record_n(63, 1);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.quantile_ppm(500_000), 10);
+        assert_eq!(
+            h.quantile_ppm(1_000_000),
+            63,
+            "the top rank lands on the single max sample"
+        );
+        assert_eq!(
+            h.quantile_ppm(999_999),
+            10,
+            "one sample is < 1 ppm of total"
+        );
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = LatencyHist::new();
+        let mut loops = LatencyHist::new();
+        bulk.record_n(100, 5);
+        bulk.record_n(3, 2);
+        for _ in 0..5 {
+            loops.record(100);
+        }
+        for _ in 0..2 {
+            loops.record(3);
+        }
+        assert_eq!(bulk, loops);
     }
 }

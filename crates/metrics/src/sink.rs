@@ -77,6 +77,10 @@ pub struct EpochRow {
     pub byz_flips: u64,
     /// Maximum number of simultaneously crashed shards observed.
     pub crashed_shards_max: u64,
+    /// Shards actively owning placement during this epoch (maximum
+    /// observed; constant except across a live reshard boundary). For
+    /// runs without a reshard schedule this is simply the shard count.
+    pub active_shards: u64,
 }
 
 /// Live recording state behind an enabled sink.
@@ -122,7 +126,14 @@ impl MetricsRecorder {
         self.round_commits += 1;
     }
 
-    fn on_round(&mut self, epoch: u64, pending: u64, byz_cum: u64, crashed_shards: u64) {
+    fn on_round(
+        &mut self,
+        epoch: u64,
+        pending: u64,
+        byz_cum: u64,
+        crashed_shards: u64,
+        active_shards: u64,
+    ) {
         if self.have_row && epoch != self.cur.epoch {
             self.timeline.push(self.cur);
             self.have_row = false;
@@ -145,6 +156,7 @@ impl MetricsRecorder {
         self.cur.byz_flips += byz_cum - self.byz_prev;
         self.byz_prev = byz_cum;
         self.cur.crashed_shards_max = self.cur.crashed_shards_max.max(crashed_shards);
+        self.cur.active_shards = self.cur.active_shards.max(active_shards);
         self.round += 1;
     }
 
@@ -207,13 +219,21 @@ impl MetricsSink {
     }
 
     /// End-of-round sample: the epoch the engine is in, total pending,
-    /// cumulative Byzantine flips so far, and how many shards are
-    /// currently crashed. Must be called exactly once per round, after
-    /// the round's commits/aborts were recorded.
+    /// cumulative Byzantine flips so far, how many shards are currently
+    /// crashed, and how many shards actively own placement (the shard
+    /// count, unless a reshard schedule is live). Must be called exactly
+    /// once per round, after the round's commits/aborts were recorded.
     #[inline]
-    pub fn on_round(&mut self, epoch: u64, pending: u64, byz_cum: u64, crashed_shards: u64) {
+    pub fn on_round(
+        &mut self,
+        epoch: u64,
+        pending: u64,
+        byz_cum: u64,
+        crashed_shards: u64,
+        active_shards: u64,
+    ) {
         if let MetricsSink::On(r) = self {
-            r.on_round(epoch, pending, byz_cum, crashed_shards);
+            r.on_round(epoch, pending, byz_cum, crashed_shards, active_shards);
         }
     }
 
@@ -295,7 +315,7 @@ mod tests {
         let mut s = MetricsSink::Off;
         s.on_commit(0, 10);
         s.on_abort();
-        s.on_round(0, 5, 0, 0);
+        s.on_round(0, 5, 0, 0, 2);
         assert!(!s.is_enabled());
         assert!(s.finish().is_none());
     }
@@ -305,18 +325,20 @@ mod tests {
         let mut s = MetricsSink::enabled(2);
         // Round 0, epoch 0: one commit.
         s.on_commit(0, 3);
-        s.on_round(0, 4, 0, 0);
+        s.on_round(0, 4, 0, 0, 2);
         // Round 1 rolls into epoch 1; its commit must land in epoch 1.
         s.on_commit(1, 5);
-        s.on_round(1, 2, 1, 1);
+        s.on_round(1, 2, 1, 1, 4);
         let r = s.finish().unwrap();
         assert_eq!(r.timeline.len(), 2);
         assert_eq!(r.timeline[0].commits, 1);
         assert_eq!(r.timeline[0].byz_flips, 0);
+        assert_eq!(r.timeline[0].active_shards, 2);
         assert_eq!(r.timeline[1].commits, 1);
         assert_eq!(r.timeline[1].start_round, 1);
         assert_eq!(r.timeline[1].byz_flips, 1);
         assert_eq!(r.timeline[1].crashed_shards_max, 1);
+        assert_eq!(r.timeline[1].active_shards, 4, "reshard bumps the column");
         assert_eq!(r.per_shard_commits, vec![1, 1]);
         assert_eq!(r.commits_total(), 2);
         assert!((r.util_min_shard() - 1.0).abs() < 1e-12);
@@ -325,7 +347,7 @@ mod tests {
     #[test]
     fn trailing_commits_are_not_lost() {
         let mut s = MetricsSink::enabled(1);
-        s.on_round(0, 0, 0, 0);
+        s.on_round(0, 0, 0, 0, 1);
         s.on_commit(0, 7);
         let r = s.finish().unwrap();
         assert_eq!(r.timeline.len(), 1);

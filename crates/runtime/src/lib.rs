@@ -63,6 +63,8 @@ pub mod sync;
 pub use engine::EngineKind;
 pub use exec::run_lockstep;
 pub use hub::{HubError, NetEnvelope, NetHub, NetInbox, ShardPort};
-pub use netbds::{run_net_bds, run_net_sched, run_net_sched_from, NetOutcome};
+pub use netbds::{
+    run_net_bds, run_net_sched, run_net_sched_from, run_net_sched_reshard, NetOutcome,
+};
 pub use netfds::run_net_fds;
 pub use sync::RoundGate;

@@ -37,7 +37,9 @@ use schedulers::bds::BdsConfig;
 use schedulers::metrics::{MetricsCollector, RunReport, SchedulerKind};
 use schedulers::scheduler::Scheduler;
 use sharding_core::txn::SubTransaction;
-use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+use sharding_core::{
+    AccountId, AccountMap, ReshardPlan, Round, ShardId, SystemConfig, Transaction, TxnId,
+};
 use simnet::faults::{FaultCounters, FaultPlan};
 use simnet::pbft::{ConsensusOutcome, PbftShard};
 use simnet::{LocalChain, ShardLedger};
@@ -62,6 +64,11 @@ enum Msg {
     Vote { txn: TxnId, commit: bool },
     /// Phase 3 round 3: home → destination.
     Decision { txn: TxnId, commit: bool },
+    /// Migration boundary: leader → every shard, the reshard plan's
+    /// now-live table version.
+    TableUpdate { version: u32 },
+    /// Migration boundary: old owner → new owner, migrated balances.
+    Handoff { accounts: Vec<(AccountId, u64)> },
 }
 
 /// Estimated wire size; mirrors `schedulers::bds::msg_bytes` exactly.
@@ -71,6 +78,8 @@ fn msg_bytes(m: &Msg) -> usize {
         Msg::ColorAssign { assignments, .. } => 8 + 12 * assignments.len(),
         Msg::SubTxn(sub) => sub.approx_bytes(),
         Msg::Vote { .. } | Msg::Decision { .. } => 17,
+        Msg::TableUpdate { .. } => 12,
+        Msg::Handoff { accounts } => 8 + 16 * accounts.len(),
     }
 }
 
@@ -85,6 +94,10 @@ pub struct NetOutcome {
     pub committed_log: Vec<(Round, TxnId)>,
     /// Whether every shard's local chain verified after the run.
     pub chains_verified: bool,
+    /// `(lost, double_committed)` from the table-independent audit over
+    /// the local chains and the commit log; `Some` exactly when the run
+    /// executed a reshard plan, and both components must be 0.
+    pub reshard_audit: Option<(u64, u64)>,
 }
 
 /// One commit/abort decision, recorded shard-locally and replayed
@@ -109,6 +122,9 @@ pub(crate) struct NodeResult {
     pub epoch: u64,
     pub max_epoch_len: u64,
     pub chain_ok: bool,
+    /// The shard's local chain, retained for the post-run reshard audit
+    /// (`None` for engines that don't run one).
+    pub chain: Option<LocalChain>,
     pub counters: FaultCounters,
 }
 
@@ -198,6 +214,7 @@ pub(crate) fn seal_outcome<P>(
         report,
         committed_log: log,
         chains_verified: res.iter().all(|r| r.chain_ok),
+        reshard_audit: None,
     }
 }
 
@@ -246,6 +263,12 @@ struct ShardNode<'a> {
     /// contract is what keeps every shard's copy interchangeable).
     policy: Box<dyn Scheduler>,
     assign_scratch: Vec<Vec<(TxnId, u32)>>,
+    /// Shared reshard schedule (pre-agreed configuration, like the fault
+    /// plan) plus this node's current version index. All nodes advance
+    /// at the same absolute rollover rounds — reshard runs are fault-free
+    /// by construction — so no node ever needs another's table.
+    reshard: Option<&'a ReshardPlan>,
+    rv: usize,
     events: Vec<CommitEvent>,
     samples: Vec<[u64; 6]>,
     counters: FaultCounters,
@@ -257,6 +280,50 @@ impl<'a> ShardNode<'a> {
             (self.epoch % self.s as u64) as u32
         } else {
             0
+        }
+    }
+
+    /// Active (vnode-owning) shards under the node's current table.
+    fn active_count(&self) -> u64 {
+        self.reshard
+            .map_or(self.s as u64, |p| p.versions[self.rv].active.len() as u64)
+    }
+
+    /// Mirrors `BdsSim::advance_reshard`: steps through every version
+    /// whose activation round has passed; the leader broadcasts the
+    /// activation signal and this node hands off its departing account
+    /// balances (ascending destination), matching the simulator's
+    /// per-sender send order exactly.
+    fn advance_reshard(&mut self, round: u64, port: &mut ShardPort<'_, Msg>) {
+        let Some(plan) = self.reshard else { return };
+        while self.rv + 1 < plan.versions.len() && plan.versions[self.rv + 1].at <= round {
+            let old = self.rv;
+            self.rv += 1;
+            if self.id.raw() == self.leader() {
+                for h in 0..self.s {
+                    port.send(
+                        ShardId(h as u32),
+                        round,
+                        Msg::TableUpdate {
+                            version: self.rv as u32,
+                        },
+                    );
+                }
+            }
+            let mut batches: BTreeMap<ShardId, Vec<(AccountId, u64)>> = BTreeMap::new();
+            for (account, from, to) in plan.moves(old) {
+                if from != self.id {
+                    continue;
+                }
+                let balance = self
+                    .ledger
+                    .remove_account(account)
+                    .expect("migrating account owned by its old shard");
+                batches.entry(to).or_default().push((account, balance));
+            }
+            for (to, accounts) in batches {
+                port.send(to, round, Msg::Handoff { accounts });
+            }
         }
     }
 
@@ -302,11 +369,24 @@ impl<'a> ShardNode<'a> {
             for g in &mut self.color_groups {
                 g.clear();
             }
+            // Migration epoch boundary: switch tables before phase 1 so
+            // the new epoch schedules under the new placement. Mirrors
+            // the simulator's rollover ordering exactly.
+            self.advance_reshard(round, port);
         }
 
         // 3. Phase 1: forward pending transactions to the epoch leader.
         if round == self.epoch_start && !self.injection.is_empty() {
-            let drained = std::mem::take(&mut self.injection);
+            let mut drained = std::mem::take(&mut self.injection);
+            // Under a reshard plan, rebuild each transaction's shard
+            // grouping against the current table (the source may have
+            // grouped under an older version) — as in `BdsSim`.
+            if let Some(plan) = self.reshard {
+                let map = &plan.versions[self.rv].map;
+                for t in &mut drained {
+                    *t = t.regrouped(map);
+                }
+            }
             self.undecided += drained.len() as u64;
             let leader = self.leader();
             port.send(ShardId(leader), round, Msg::TxnInfo(drained.clone()));
@@ -469,6 +549,20 @@ impl<'a> ShardNode<'a> {
                     }
                 }
             }
+            Msg::TableUpdate { version } => {
+                // The plan is shared configuration and rollovers are
+                // simultaneous absolute rounds, so the recipient already
+                // switched when the signal arrives; cross-check only.
+                debug_assert_eq!(
+                    version as usize, self.rv,
+                    "table-update version does not match the live table"
+                );
+            }
+            Msg::Handoff { accounts } => {
+                for (account, balance) in accounts {
+                    self.ledger.absorb(account, balance);
+                }
+            }
         }
     }
 }
@@ -559,6 +653,66 @@ pub fn run_net_sched_from(
     workers: usize,
     metrics: bool,
 ) -> NetOutcome {
+    run_net_epoch_hosted(
+        sys, map, source, rounds, metric, bcfg, faults, kind, workers, metrics, None,
+    )
+}
+
+/// Runs an epoch-hosted scheduler under a live reshard schedule. The
+/// system must be provisioned for the plan's `s_max` and `map` must be
+/// the plan's version-0 placement; the fault plan must be inert (a
+/// crashed shard losing a balance handoff is unrecoverable state loss,
+/// so the scenario layer rejects the combination and this engine
+/// asserts it). The outcome carries the zero-loss/zero-duplication
+/// audit in [`NetOutcome::reshard_audit`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_net_sched_reshard(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    source: &mut dyn RoundSource,
+    rounds: Round,
+    metric: &dyn ShardMetric,
+    bcfg: BdsConfig,
+    faults: &FaultPlan,
+    kind: SchedulerKind,
+    workers: usize,
+    metrics: bool,
+    plan: &ReshardPlan,
+) -> NetOutcome {
+    assert_eq!(
+        plan.s_max, sys.shards,
+        "system must be provisioned for the plan's s_max"
+    );
+    assert!(faults.is_inert(), "resharding requires a fault-free run");
+    run_net_epoch_hosted(
+        sys,
+        map,
+        source,
+        rounds,
+        metric,
+        bcfg,
+        faults,
+        kind,
+        workers,
+        metrics,
+        Some(plan),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_net_epoch_hosted(
+    sys: &SystemConfig,
+    map: &AccountMap,
+    source: &mut dyn RoundSource,
+    rounds: Round,
+    metric: &dyn ShardMetric,
+    bcfg: BdsConfig,
+    faults: &FaultPlan,
+    kind: SchedulerKind,
+    workers: usize,
+    metrics: bool,
+    reshard: Option<&ReshardPlan>,
+) -> NetOutcome {
     sys.validate().expect("valid system config");
     assert_eq!(metric.shards(), sys.shards);
     faults.validate(sys.shards).expect("valid fault plan");
@@ -617,6 +771,8 @@ pub fn run_net_sched_from(
                             panic!("{kind} has no epoch policy; use its dedicated networked driver")
                         }),
                     assign_scratch: vec![Vec::new(); s],
+                    reshard,
+                    rv: 0,
                     events: Vec::new(),
                     samples: Vec::with_capacity(total as usize),
                     counters: FaultCounters::default(),
@@ -656,7 +812,7 @@ pub fn run_net_sched_from(
             node.epoch,
             node.counters.byz_flips,
             u64::from(crashed),
-            0,
+            node.active_count(),
             0,
         ]);
     });
@@ -673,6 +829,7 @@ pub fn run_net_sched_from(
                 epoch: node.epoch,
                 max_epoch_len: node.max_epoch_len,
                 chain_ok: node.chain.verify(),
+                chain: Some(node.chain),
                 counters: node.counters,
             }
         })
@@ -698,7 +855,12 @@ pub fn run_net_sched_from(
         let epoch = res.iter().map(|n| n.samples[r][1]).max().unwrap_or(0);
         let byz: u64 = res.iter().map(|n| n.samples[r][2]).sum();
         let crashed: u64 = res.iter().map(|n| n.samples[r][3]).sum();
-        collector.sink.on_round(epoch, total_pending, byz, crashed);
+        // Active-shard view: fault-free every node agrees, so `max`
+        // equals the simulator's single counter (as with `epoch` above).
+        let active = res.iter().map(|n| n.samples[r][4]).max().unwrap_or(0);
+        collector
+            .sink
+            .on_round(epoch, total_pending, byz, crashed, active);
         pending_at_end = total_pending;
     }
 
@@ -718,5 +880,13 @@ pub fn run_net_sched_from(
         hub.sent_count(),
         hub.max_message_bytes(),
     );
-    seal_outcome(report, &res, &hub, log)
+    let mut out = seal_outcome(report, &res, &hub, log);
+    if reshard.is_some() {
+        let chains: Vec<LocalChain> = res
+            .into_iter()
+            .map(|n| n.chain.expect("epoch-hosted nodes retain their chain"))
+            .collect();
+        out.reshard_audit = Some(simnet::reshard_audit(&chains, &out.committed_log));
+    }
+    out
 }

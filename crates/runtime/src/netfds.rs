@@ -526,6 +526,7 @@ pub fn run_net_fds(
                 epoch: 0,
                 max_epoch_len: 0,
                 chain_ok: node.chain.verify(),
+                chain: None,
                 counters: node.counters,
             }
         })
@@ -562,7 +563,7 @@ pub fn run_net_fds(
         // derivation, so fault-free timelines mirror the simulator.
         collector
             .sink
-            .on_round(round / e0, outstanding, byz, crashed);
+            .on_round(round / e0, outstanding, byz, crashed, sys.shards as u64);
         outstanding_at_end = outstanding;
     }
 

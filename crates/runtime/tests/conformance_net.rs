@@ -15,14 +15,15 @@
 //!   deliberate oversubscription — thread count is a performance knob,
 //!   never a semantic one.
 
-use adversary::{AdversaryConfig, StrategyKind};
+use adversary::{Adversary, AdversaryConfig, ReshardSource, RoundSource, StrategyKind};
 use cluster::UniformMetric;
 use conflict::ColoringStrategy;
-use runtime::run_net_sched;
+use runtime::{run_net_sched, run_net_sched_reshard, NetOutcome};
 use schedulers::bds::{BdsConfig, BdsSim};
 use schedulers::driver::drive;
 use schedulers::testkit::report_fingerprint;
 use schedulers::SchedulerKind;
+use sharding_core::ReshardPlan;
 use sharding_core::{AccountMap, Round, SystemConfig};
 use simnet::FaultPlan;
 
@@ -100,6 +101,111 @@ fn net_reports_match_the_simulator_byte_for_byte() {
             "{kind}: net diverged from the simulator"
         );
     }
+}
+
+/// A +2@60 migration schedule over the conformance system: 4 active
+/// shards at round 0, 6 from the first epoch boundary at or after
+/// round 60, provisioned capacity 6.
+fn reshard_fixture() -> (SystemConfig, SystemConfig, AccountMap, ReshardPlan) {
+    let cfg = SystemConfig {
+        shards: 1, // overwritten by the plan's s_max
+        accounts: 32,
+        k_max: 3,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let plan = ReshardPlan::build(4, &cfg, &[(2, 60)]).unwrap();
+    let sys = SystemConfig {
+        shards: plan.s_max,
+        ..cfg.clone()
+    };
+    let src_sys = SystemConfig { shards: 4, ..cfg };
+    let map = plan.versions[0].map.clone();
+    (sys, src_sys, map, plan)
+}
+
+#[test]
+fn reshard_net_reports_match_the_simulator_for_every_hosted_kind() {
+    // Resharding lives in the shared epoch host, so every epoch-hosted
+    // policy inherits it — and every one must keep the sim/net mirror.
+    let (sys, src_sys, map, plan) = reshard_fixture();
+    let adv = adversary(37);
+    let rounds = Round(300);
+    let metric = UniformMetric::new(sys.shards);
+    let bcfg = BdsConfig::default();
+    for kind in epoch_hosted_kinds() {
+        let mut src = ReshardSource::new(Adversary::new(&src_sys, &map, adv), plan.clone());
+        let net = run_net_sched_reshard(
+            &sys,
+            &map,
+            &mut src,
+            rounds,
+            &metric,
+            bcfg,
+            &FaultPlan::default(),
+            kind,
+            sys.shards,
+            false,
+            &plan,
+        );
+        assert!(net.chains_verified, "{kind}: chain verification failed");
+        assert_eq!(
+            net.reshard_audit,
+            Some((0, 0)),
+            "{kind}: commits lost or doubled across the migration"
+        );
+        let policy = kind
+            .epoch_policy(bcfg.coloring, sys.accounts, sys.shards)
+            .expect("epoch-hosted by construction");
+        let mut sim = BdsSim::with_policy(&sys, &map, bcfg, &metric, policy);
+        sim.set_reshard(plan.clone());
+        let mut src = ReshardSource::new(Adversary::new(&src_sys, &map, adv), plan.clone());
+        for r in 0..rounds.raw() {
+            sim.step(src.next_round(Round(r)));
+        }
+        assert_eq!(sim.reshard_audit(), (0, 0), "{kind}: sim-side audit");
+        assert_eq!(
+            report_fingerprint(&net.report),
+            report_fingerprint(&sim.finish()),
+            "{kind}: net diverged from the simulator across the migration"
+        );
+    }
+}
+
+#[test]
+fn reshard_worker_count_never_changes_the_bytes() {
+    let (sys, src_sys, map, plan) = reshard_fixture();
+    let adv = adversary(41);
+    let rounds = Round(300);
+    let metric = UniformMetric::new(sys.shards);
+    let bcfg = BdsConfig::default();
+    let runs: Vec<NetOutcome> = [1, sys.shards, sys.shards * 2 + 1]
+        .into_iter()
+        .map(|workers| {
+            let mut src = ReshardSource::new(Adversary::new(&src_sys, &map, adv), plan.clone());
+            run_net_sched_reshard(
+                &sys,
+                &map,
+                &mut src,
+                rounds,
+                &metric,
+                bcfg,
+                &FaultPlan::default(),
+                SchedulerKind::Bds,
+                workers,
+                false,
+                &plan,
+            )
+        })
+        .collect();
+    for out in &runs {
+        assert_eq!(out.reshard_audit, Some((0, 0)));
+    }
+    let prints: Vec<String> = runs.iter().map(|o| report_fingerprint(&o.report)).collect();
+    assert_eq!(prints[0], prints[1], "1 worker vs one-per-shard");
+    assert_eq!(prints[1], prints[2], "one-per-shard vs oversubscribed");
+    assert_eq!(runs[0].committed_log, runs[1].committed_log);
+    assert_eq!(runs[1].committed_log, runs[2].committed_log);
 }
 
 #[test]

@@ -565,6 +565,146 @@ fn fault_plane_matches_locked_oracle_across_metric_shapes() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Elastic resharding differential: with a live migration schedule armed,
+// the networked engine must still mirror the simulator byte for byte —
+// and both sides must pass the table-independent commit audit (no
+// committed transaction lost, none committed twice) across the
+// migration boundary.
+
+use adversary::{ReshardSource, RoundSource};
+use runtime::run_net_sched_reshard;
+use schedulers::SchedulerKind;
+use sharding_core::ReshardPlan;
+
+fn reshard_fixture(
+    initial: usize,
+    events: &[(i64, u64)],
+) -> (SystemConfig, SystemConfig, AccountMap, ReshardPlan) {
+    let cfg = SystemConfig {
+        shards: 1, // overwritten by the plan's s_max
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+        k_max: 3,
+        accounts: 64,
+    };
+    let plan = ReshardPlan::build(initial, &cfg, events).unwrap();
+    let sys = SystemConfig {
+        shards: plan.s_max,
+        ..cfg.clone()
+    };
+    // Workload producers draw shards from the *initial* active set.
+    let src_sys = SystemConfig {
+        shards: initial,
+        ..cfg
+    };
+    let map = plan.versions[0].map.clone();
+    (sys, src_sys, map, plan)
+}
+
+/// Hand-driven simulator run with the plan armed; returns the report,
+/// the commit log, and the (lost, duplicated) audit.
+#[allow(clippy::type_complexity)]
+fn sim_bds_reshard(
+    sys: &SystemConfig,
+    src_sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    plan: &ReshardPlan,
+    rounds: u64,
+    metric: &dyn ShardMetric,
+) -> (RunReport, Vec<(Round, TxnId)>, (u64, u64)) {
+    let mut sim = BdsSim::with_metric(sys, map, BdsConfig::default(), metric);
+    sim.set_reshard(plan.clone());
+    let mut src = ReshardSource::new(Adversary::new(src_sys, map, *adv), plan.clone());
+    for r in 0..rounds {
+        sim.step(src.next_round(Round(r)));
+    }
+    let log = sim.committed_log().to_vec();
+    let audit = sim.reshard_audit();
+    (sim.finish(), log, audit)
+}
+
+fn net_bds_reshard(
+    sys: &SystemConfig,
+    src_sys: &SystemConfig,
+    map: &AccountMap,
+    adv: &AdversaryConfig,
+    plan: &ReshardPlan,
+    rounds: u64,
+    metric: &dyn ShardMetric,
+) -> NetOutcome {
+    let mut src = ReshardSource::new(Adversary::new(src_sys, map, *adv), plan.clone());
+    run_net_sched_reshard(
+        sys,
+        map,
+        &mut src,
+        Round(rounds),
+        metric,
+        BdsConfig::default(),
+        &FaultPlan::default(),
+        SchedulerKind::Bds,
+        sys.shards,
+        false,
+        plan,
+    )
+}
+
+#[test]
+fn reshard_scale_out_matches_simulator_byte_for_byte() {
+    let (sys, src_sys, map, plan) = reshard_fixture(4, &[(2, 60)]);
+    let adv = adversary(61);
+    let metric = UniformMetric::new(sys.shards);
+    let net = net_bds_reshard(&sys, &src_sys, &map, &adv, &plan, 400, &metric);
+    let (sim, sim_log, sim_audit) =
+        sim_bds_reshard(&sys, &src_sys, &map, &adv, &plan, 400, &metric);
+    assert!(sim.committed > 0, "workload must be non-trivial");
+    assert_reports_identical(&net.report, &sim, "reshard/scale_out");
+    assert_eq!(net.committed_log, sim_log, "round-for-round commit log");
+    assert!(net.chains_verified);
+    assert_eq!(sim_audit, (0, 0), "sim: no commit lost or doubled");
+    assert_eq!(
+        net.reshard_audit,
+        Some((0, 0)),
+        "net: no commit lost or doubled"
+    );
+}
+
+#[test]
+fn reshard_scale_in_matches_simulator_byte_for_byte() {
+    let (sys, src_sys, map, plan) = reshard_fixture(6, &[(-2, 60)]);
+    let adv = adversary(67);
+    let metric = UniformMetric::new(sys.shards);
+    let net = net_bds_reshard(&sys, &src_sys, &map, &adv, &plan, 400, &metric);
+    let (sim, sim_log, sim_audit) =
+        sim_bds_reshard(&sys, &src_sys, &map, &adv, &plan, 400, &metric);
+    assert!(sim.committed > 0, "workload must be non-trivial");
+    assert_reports_identical(&net.report, &sim, "reshard/scale_in");
+    assert_eq!(net.committed_log, sim_log, "round-for-round commit log");
+    assert!(net.chains_verified);
+    assert_eq!(sim_audit, (0, 0));
+    assert_eq!(net.reshard_audit, Some((0, 0)));
+}
+
+#[test]
+fn reshard_churn_matches_simulator_on_a_line_metric() {
+    // Two opposing events over a diameter-7 line: handoffs ride the
+    // longest links the metric allows and must still land before the
+    // first post-migration epoch check.
+    let (sys, src_sys, map, plan) = reshard_fixture(4, &[(2, 40), (-3, 120)]);
+    let adv = adversary(71);
+    let metric = LineMetric::new(sys.shards);
+    let net = net_bds_reshard(&sys, &src_sys, &map, &adv, &plan, 500, &metric);
+    let (sim, sim_log, sim_audit) =
+        sim_bds_reshard(&sys, &src_sys, &map, &adv, &plan, 500, &metric);
+    assert!(sim.committed > 0, "workload must be non-trivial");
+    assert_reports_identical(&net.report, &sim, "reshard/churn");
+    assert_eq!(net.committed_log, sim_log, "round-for-round commit log");
+    assert!(net.chains_verified);
+    assert_eq!(sim_audit, (0, 0));
+    assert_eq!(net.reshard_audit, Some((0, 0)));
+}
+
 #[test]
 fn drop_budget_is_honored_per_directed_link_end_to_end() {
     // One hot link, a tight budget: the hub must stop dropping exactly

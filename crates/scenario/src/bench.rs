@@ -27,13 +27,13 @@
 use crate::exec::run_jobs;
 use crate::parse::Scenario;
 use adversary::{
-    Adversary, AdversaryConfig, IngestPipeline, RoundSource, StrategyKind, StreamKind,
-    StreamSource, WorkloadShape,
+    Adversary, AdversaryConfig, IngestPipeline, ReshardSource, RoundSource, StrategyKind,
+    StreamKind, StreamSource, WorkloadShape,
 };
 use cluster::{LineMetric, UniformMetric};
 use schedulers::bds::{BdsConfig, BdsSim};
 use schedulers::fds::{FdsConfig, FdsSim};
-use sharding_core::{AccountMap, Round, SystemConfig, Transaction};
+use sharding_core::{AccountMap, ReshardPlan, Round, SystemConfig, Transaction};
 use simnet::FaultPlan;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -183,6 +183,14 @@ struct MicroFixture {
 enum MicroScheduler {
     Bds,
     Fds,
+    /// BDS with an armed reshard plan: the timed loop crosses two live
+    /// migrations (a join and a retirement), so the per-round cost
+    /// includes the migration-epoch table swap, the account handoffs,
+    /// and the version checks every epoch rollover pays. Batches are
+    /// pre-generated through a [`ReshardSource`] so re-homing is off
+    /// the timed path, matching how the other micro fixtures exclude
+    /// the adversary.
+    Reshard(ReshardPlan),
     /// The networked engine, end to end: spawns one worker thread per
     /// shard per iteration, so the timed region covers thread setup, the
     /// cooperative round executor, and the lock-free ring traffic — the
@@ -264,6 +272,41 @@ fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
     } else {
         (1_200, 360, 120)
     };
+    // Reshard fixture: 16 active shards provisioned to 24, +8 join a
+    // third of the way in, 12 retire at two thirds — so the timed loop
+    // spends roughly equal stretches at 16, 24, and 12 active shards
+    // and pays two full migration epochs. Batches are pre-generated
+    // through a ReshardSource so the re-homing arithmetic is off the
+    // timed path.
+    // 256 accounts over 16 initial shards: enough that the consistent
+    // hash leaves no initially-active shard account-less (the inner
+    // adversary draws a shard first, then one of its accounts).
+    let reshard_cfg = SystemConfig {
+        shards: 1, // placeholder: ReshardPlan::build owns the provisioned count
+        accounts: 256,
+        k_max: 6,
+        nodes_per_shard: 4,
+        faulty_per_shard: 1,
+    };
+    let reshard_plan =
+        ReshardPlan::build(16, &reshard_cfg, &[(8, rounds / 3), (-12, rounds * 2 / 3)])
+            .expect("static reshard bench schedule is valid");
+    let reshard_sys = SystemConfig {
+        shards: reshard_plan.s_max,
+        ..reshard_cfg.clone()
+    };
+    let reshard_map = reshard_plan.versions[0].map.clone();
+    let reshard_batches = {
+        let src_sys = SystemConfig {
+            shards: 16,
+            ..reshard_cfg
+        };
+        let mut src = ReshardSource::new(
+            Adversary::new(&src_sys, &reshard_map, micro_adversary(17)),
+            reshard_plan.clone(),
+        );
+        (0..rounds).map(|r| src.next_round(Round(r))).collect()
+    };
     vec![
         MicroFixture {
             name: "bds_inner",
@@ -280,6 +323,14 @@ fn micro_fixtures(opts: &BenchOpts) -> Vec<MicroFixture> {
             map,
             batches: fds_batches,
             scheduler: MicroScheduler::Fds,
+        },
+        MicroFixture {
+            name: "reshard",
+            rounds,
+            sys: reshard_sys,
+            map: reshard_map,
+            batches: reshard_batches,
+            scheduler: MicroScheduler::Reshard(reshard_plan),
         },
         MicroFixture {
             name: "net_bds",
@@ -308,6 +359,19 @@ impl MicroFixture {
                     sim.step(batch.clone());
                 }
                 let ns = start.elapsed().as_nanos() as u64;
+                let r = sim.finish();
+                (ns, r.generated, r.committed)
+            }
+            MicroScheduler::Reshard(ref plan) => {
+                let mut sim = BdsSim::new(&self.sys, &self.map, BdsConfig::default());
+                sim.set_reshard(plan.clone());
+                let start = Instant::now();
+                for batch in &self.batches {
+                    sim.step(batch.clone());
+                }
+                let ns = start.elapsed().as_nanos() as u64;
+                let audit = sim.reshard_audit();
+                assert_eq!(audit, (0, 0), "reshard bench fixture lost/doubled txns");
                 let r = sim.finish();
                 (ns, r.generated, r.committed)
             }
@@ -658,36 +722,119 @@ pub struct BaselineFixture {
     pub name: String,
     /// Median ns/round recorded in the baseline.
     pub ns_per_round_median: f64,
+    /// Sample spread recorded in the baseline (min–max as % of the
+    /// median). `0.0` when the baseline predates the field.
+    pub spread_pct: f64,
 }
 
-/// Reads the fixture names and medians back out of a `BENCH_*.json`
-/// document written by [`render_json`].
+/// Extracts the raw value text of `"key": <value>` from one fixture
+/// object, wherever in the object the key sits.
+fn baseline_field<'a>(object: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = object.find(&pat)?;
+    let rest = object[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn baseline_number(object: &str, key: &str, name: &str) -> Result<Option<f64>, String> {
+    let Some(raw) = baseline_field(object, key) else {
+        return Ok(None);
+    };
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("baseline: bad {key} for `{name}`: {raw}"))?;
+    if !v.is_finite() {
+        return Err(format!("baseline: non-finite {key} for `{name}`: {raw}"));
+    }
+    Ok(Some(v))
+}
+
+fn parse_baseline_object(object: &str) -> Result<BaselineFixture, String> {
+    let name = baseline_field(object, "name")
+        .ok_or("baseline: fixture object without a \"name\"")?
+        .trim_matches('"')
+        .to_string();
+    if name.is_empty() {
+        return Err("baseline: fixture object with an empty \"name\"".into());
+    }
+    let median = baseline_number(object, "ns_per_round_median", &name)?
+        .ok_or_else(|| format!("baseline: fixture `{name}` has no ns_per_round_median"))?;
+    // Baselines written before the spread field carry no spread; treat
+    // them as perfectly tight rather than rejecting the file.
+    let spread_pct = baseline_number(object, "spread_pct", &name)?.unwrap_or(0.0);
+    Ok(BaselineFixture {
+        name,
+        ns_per_round_median: median,
+        spread_pct,
+    })
+}
+
+/// Reads the fixture entries back out of a `BENCH_*.json` document
+/// written by [`render_json`].
 ///
 /// This is a deliberately narrow reader for our own schema (the
-/// workspace has no JSON dependency): it scans for `"name"` /
-/// `"ns_per_round_median"` key-value pairs in order, which is exactly
-/// how the writer lays them out. Unknown keys are ignored.
+/// workspace has no JSON dependency), but it is *object-aware*: it
+/// brace-matches each `{ … }` element of the `"fixtures"` array and
+/// looks keys up inside that object, so reordering keys, inserting new
+/// ones, or hand-editing whitespace cannot silently misattribute a
+/// median to the wrong fixture the way the old in-order line scanner
+/// could. Unknown keys are ignored; `spread_pct` defaults to `0.0` for
+/// baselines that predate it.
 pub fn parse_baseline(text: &str) -> Result<Vec<BaselineFixture>, String> {
+    let start = text
+        .find("\"fixtures\"")
+        .ok_or("baseline: no \"fixtures\" array (is this a BENCH_*.json file?)")?;
+    let rest = &text[start..];
+    let open = rest
+        .find('[')
+        .ok_or("baseline: \"fixtures\" is not an array")?;
+    let body = &rest[open + 1..];
     let mut fixtures = Vec::new();
-    let mut pending_name: Option<String> = None;
-    for raw in text.lines() {
-        let line = raw.trim().trim_end_matches(',');
-        if let Some(rest) = line.strip_prefix("\"name\":") {
-            let v = rest.trim().trim_matches('"');
-            pending_name = Some(v.to_string());
-        } else if let Some(rest) = line.strip_prefix("\"ns_per_round_median\":") {
-            let name = pending_name
-                .take()
-                .ok_or("baseline: ns_per_round_median before any name")?;
-            let v: f64 = rest
-                .trim()
-                .parse()
-                .map_err(|_| format!("baseline: bad median for `{name}`: {rest}"))?;
-            fixtures.push(BaselineFixture {
-                name,
-                ns_per_round_median: v,
-            });
+    let mut depth = 0usize;
+    let mut object_start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut closed = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
         }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    object_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                if depth == 0 {
+                    return Err("baseline: unbalanced braces in \"fixtures\"".into());
+                }
+                depth -= 1;
+                if depth == 0 {
+                    let object = &body[object_start.take().expect("set at depth 0 `{`")..=i];
+                    fixtures.push(parse_baseline_object(object)?);
+                }
+            }
+            ']' if depth == 0 => {
+                closed = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || !closed {
+        return Err("baseline: unterminated \"fixtures\" array".into());
     }
     if fixtures.is_empty() {
         return Err("baseline: no fixtures found (is this a BENCH_*.json file?)".into());
@@ -704,6 +851,10 @@ pub struct Comparison {
     pub baseline: f64,
     /// Current median ns/round.
     pub current: f64,
+    /// Sample spread the baseline recorded for this fixture, in percent
+    /// of its median. Widens the regression gate — see
+    /// [`effective_threshold`].
+    pub baseline_spread_pct: f64,
 }
 
 impl Comparison {
@@ -715,6 +866,34 @@ impl Comparison {
         }
         self.current / self.baseline
     }
+}
+
+/// The spread-aware regression gate, as a pure function so the policy
+/// is testable in isolation.
+///
+/// A fixture whose baseline samples already spread by `spread_pct`
+/// percent of their median has that much measurement noise baked into
+/// the recorded number — a flat `ratio > max_regression` check then
+/// fires on noise, not regressions (observed: `bds_inner` at 27.4%
+/// quick-mode spread tripping the 2x gate with no code change). The
+/// gate therefore widens multiplicatively with the recorded spread:
+///
+/// ```text
+/// effective = max_regression · max(1.0, 1.0 + spread_pct / 100.0)
+/// ```
+///
+/// A tight fixture (spread 0%) keeps the exact configured gate; a noisy
+/// one gets proportionally more headroom (27.4% spread at a 2.0x gate
+/// → 2.548x). Negative or non-finite recorded spreads never *tighten*
+/// the gate below `max_regression`.
+pub fn effective_threshold(max_regression: f64, spread_pct: f64) -> f64 {
+    let widen = 1.0 + spread_pct / 100.0;
+    max_regression
+        * if widen.is_finite() {
+            widen.max(1.0)
+        } else {
+            1.0
+        }
 }
 
 /// Pairs the current results with a parsed baseline by fixture name.
@@ -731,22 +910,25 @@ pub fn compare(results: &[FixtureResult], baseline: &[BaselineFixture]) -> Vec<C
                     name: r.name.clone(),
                     baseline: b.ns_per_round_median,
                     current: r.median_ns_per_round(),
+                    baseline_spread_pct: b.spread_pct,
                 })
         })
         .collect()
 }
 
 /// Renders the baseline-comparison table and returns the names of
-/// fixtures regressing beyond `max_regression`.
+/// fixtures regressing beyond their spread-adjusted threshold (see
+/// [`effective_threshold`]).
 pub fn regression_report(comparisons: &[Comparison], max_regression: f64) -> (String, Vec<String>) {
     let mut out = format!(
-        "{:<16} {:>14} {:>14} {:>8}   vs baseline (fail > {max_regression:.2}x)\n",
-        "fixture", "baseline ns/r", "current ns/r", "ratio",
+        "{:<16} {:>14} {:>14} {:>8} {:>8}   vs baseline (fail > spread-adjusted {max_regression:.2}x)\n",
+        "fixture", "baseline ns/r", "current ns/r", "ratio", "gate",
     );
     let mut failures = Vec::new();
     for c in comparisons {
         let ratio = c.ratio();
-        let verdict = if ratio > max_regression {
+        let gate = effective_threshold(max_regression, c.baseline_spread_pct);
+        let verdict = if ratio > gate {
             failures.push(c.name.clone());
             "REGRESSION"
         } else if ratio < 1.0 {
@@ -755,8 +937,8 @@ pub fn regression_report(comparisons: &[Comparison], max_regression: f64) -> (St
             "ok"
         };
         out.push_str(&format!(
-            "{:<16} {:>14.1} {:>14.1} {:>7.2}x   {verdict}\n",
-            c.name, c.baseline, c.current, ratio,
+            "{:<16} {:>14.1} {:>14.1} {:>7.2}x {:>7.2}x   {verdict}\n",
+            c.name, c.baseline, c.current, ratio, gate,
         ));
     }
     (out, failures)
@@ -807,6 +989,14 @@ mod tests {
         assert!((r.txns_per_sec() - 480_000.0).abs() < 1.0);
     }
 
+    fn baseline(name: &str, median: f64, spread: f64) -> BaselineFixture {
+        BaselineFixture {
+            name: name.into(),
+            ns_per_round_median: median,
+            spread_pct: spread,
+        }
+    }
+
     #[test]
     fn json_roundtrips_through_baseline_parser() {
         let results = vec![result("bds_inner", &[120.5, 118.0, 125.0])];
@@ -818,30 +1008,98 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].name, "bds_inner");
         assert!((parsed[0].ns_per_round_median - 120.5).abs() < 0.11);
+        // spread = (125 - 118) / 120.5 ≈ 5.8% — the writer's rounded
+        // value must ride back through the parser.
+        assert!((parsed[0].spread_pct - 5.8).abs() < 0.11);
     }
 
     #[test]
-    fn baseline_parser_rejects_garbage() {
-        assert!(parse_baseline("{}").is_err());
-        assert!(parse_baseline("\"ns_per_round_median\": 3\n").is_err());
+    fn baseline_parser_is_key_order_insensitive() {
+        // The old line scanner required "name" to precede the median and
+        // silently mispaired entries otherwise; the object-aware parser
+        // must not care about key order or unknown keys.
+        let json = r#"{
+  "fixtures": [
+    { "ns_per_round_median": 10.5, "novel_key": 1, "name": "swapped", "spread_pct": 3.0 },
+    { "name": "plain", "ns_per_round_median": 20.0 }
+  ]
+}"#;
+        let parsed = parse_baseline(json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], baseline("swapped", 10.5, 3.0));
+        assert_eq!(
+            parsed[1],
+            baseline("plain", 20.0, 0.0),
+            "missing spread_pct defaults to 0 for pre-spread baselines"
+        );
+    }
+
+    #[test]
+    fn baseline_parser_ignores_braces_inside_strings() {
+        let json = "{\"fixtures\": [ { \"comment\": \"a } stray ] in a string\", \"name\": \"x\", \"ns_per_round_median\": 1.0 } ]}";
+        let parsed = parse_baseline(json).unwrap();
+        assert_eq!(parsed, vec![baseline("x", 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn baseline_parser_rejects_malformed_input_with_context() {
+        for (input, expect) in [
+            ("{}", "no \"fixtures\" array"),
+            ("\"ns_per_round_median\": 3\n", "no \"fixtures\" array"),
+            ("{\"fixtures\": 3}", "is not an array"),
+            ("{\"fixtures\": []}", "no fixtures found"),
+            ("{\"fixtures\": [", "unterminated"),
+            (
+                "{\"fixtures\": [ { \"name\": \"x\", \"ns_per_round_median\": 1.0 }",
+                "unterminated",
+            ),
+            (
+                "{\"fixtures\": [ { \"ns_per_round_median\": 1.0 } ]}",
+                "without a \"name\"",
+            ),
+            (
+                "{\"fixtures\": [ { \"name\": \"\", \"ns_per_round_median\": 1.0 } ]}",
+                "empty \"name\"",
+            ),
+            (
+                "{\"fixtures\": [ { \"name\": \"x\" } ]}",
+                "has no ns_per_round_median",
+            ),
+            (
+                "{\"fixtures\": [ { \"name\": \"x\", \"ns_per_round_median\": fast } ]}",
+                "bad ns_per_round_median for `x`",
+            ),
+            (
+                "{\"fixtures\": [ { \"name\": \"x\", \"ns_per_round_median\": NaN } ]}",
+                "non-finite ns_per_round_median for `x`",
+            ),
+            (
+                "{\"fixtures\": [ { \"name\": \"x\", \"ns_per_round_median\": 1.0, \"spread_pct\": wide } ]}",
+                "bad spread_pct for `x`",
+            ),
+        ] {
+            let err = parse_baseline(input).expect_err(input);
+            assert!(err.contains(expect), "`{input}` gave `{err}`, want `{expect}`");
+        }
+    }
+
+    #[test]
+    fn effective_threshold_widens_with_spread_only() {
+        assert!((effective_threshold(2.0, 0.0) - 2.0).abs() < 1e-12);
+        assert!((effective_threshold(2.0, 27.4) - 2.548).abs() < 1e-12);
+        assert!((effective_threshold(1.5, 50.0) - 2.25).abs() < 1e-12);
+        // Noise metadata can widen the gate, never tighten it.
+        assert!((effective_threshold(2.0, -30.0) - 2.0).abs() < 1e-12);
+        assert!((effective_threshold(2.0, f64::NAN) - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn regression_detection() {
         let results = vec![result("a", &[300.0]), result("b", &[100.0])];
         let baseline = vec![
-            BaselineFixture {
-                name: "a".into(),
-                ns_per_round_median: 100.0,
-            },
-            BaselineFixture {
-                name: "b".into(),
-                ns_per_round_median: 100.0,
-            },
-            BaselineFixture {
-                name: "gone".into(),
-                ns_per_round_median: 1.0,
-            },
+            baseline("a", 100.0, 0.0),
+            baseline("b", 100.0, 0.0),
+            baseline("gone", 1.0, 0.0),
         ];
         let cmp = compare(&results, &baseline);
         assert_eq!(cmp.len(), 2, "unmatched baseline fixtures are skipped");
@@ -849,6 +1107,36 @@ mod tests {
         assert_eq!(failures, vec!["a".to_string()]);
         assert!(table.contains("REGRESSION"));
         assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn noisy_baseline_widens_the_gate_instead_of_tripping_it() {
+        // The bug this fixes: bds_inner's quick-mode baseline recorded a
+        // 27.4% sample spread, and a 2.5x "ratio" within that noise band
+        // failed the flat 2x gate with no code change. With the spread
+        // folded in, the gate is 2.548x: 2.5x passes, 2.6x still fails.
+        let noisy = |current: f64| {
+            vec![Comparison {
+                name: "bds_inner".into(),
+                baseline: 100.0,
+                current,
+                baseline_spread_pct: 27.4,
+            }]
+        };
+        let (_, failures) = regression_report(&noisy(250.0), 2.0);
+        assert!(failures.is_empty(), "in-noise slowdown must not trip");
+        let (table, failures) = regression_report(&noisy(260.0), 2.0);
+        assert_eq!(failures, vec!["bds_inner".to_string()]);
+        assert!(table.contains("2.55x"), "table shows the widened gate");
+        // A tight fixture keeps the exact configured gate.
+        let tight = vec![Comparison {
+            name: "e2e_smoke".into(),
+            baseline: 100.0,
+            current: 201.0,
+            baseline_spread_pct: 0.0,
+        }];
+        let (_, failures) = regression_report(&tight, 2.0);
+        assert_eq!(failures, vec!["e2e_smoke".to_string()]);
     }
 
     #[test]

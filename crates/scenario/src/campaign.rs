@@ -4,7 +4,8 @@
 //! A *campaign* is the repo's answer to "how does the system behave
 //! under sustained, layered pressure" — each member scenario turns one
 //! screw (a flash crowd, an asymmetric gray partition, rolling crash
-//! churn, Byzantine pressure at the f bound, everything at once) and
+//! churn, Byzantine pressure at the f bound, everything at once, live
+//! reshard churn) and
 //! every member runs with the metrics plane on, so the summary table
 //! and the CSV reports carry latency percentiles and per-shard
 //! utilization, not just means.
@@ -12,7 +13,7 @@
 //! Two families share the same member list:
 //!
 //! * `quick` — the scenario files as checked in (200 rounds). This is
-//!   the CI shape: the five CSVs it writes are diffed byte-for-byte
+//!   the CI shape: the six CSVs it writes are diffed byte-for-byte
 //!   against `crates/scenario/tests/golden/` by the campaign-smoke job,
 //!   and the golden/determinism tests pin them across `--threads
 //!   1/2/8` and (fault-free members) across `engine = sim|net`.
@@ -34,13 +35,14 @@ use crate::report;
 use std::path::PathBuf;
 
 /// The campaign members, in run order. Each name is a
-/// `scenarios/<name>.scenario` file; all five are golden-tested.
+/// `scenarios/<name>.scenario` file; all six are golden-tested.
 pub const CAMPAIGN_SCENARIOS: &[&str] = &[
     "flash_crowd",
     "gray_partition",
     "rolling_crash",
     "byz_ramp",
     "combined_stress",
+    "reshard_churn",
 ];
 
 /// Rounds override applied by the `full` family (the checked-in files
@@ -299,11 +301,12 @@ mod tests {
     }
 
     #[test]
-    fn member_list_is_the_documented_five() {
-        assert_eq!(CAMPAIGN_SCENARIOS.len(), 5);
+    fn member_list_is_the_documented_six() {
+        assert_eq!(CAMPAIGN_SCENARIOS.len(), 6);
         // Order matters: CI diffs goldens by these names.
         assert_eq!(CAMPAIGN_SCENARIOS[0], "flash_crowd");
         assert_eq!(CAMPAIGN_SCENARIOS[4], "combined_stress");
+        assert_eq!(CAMPAIGN_SCENARIOS[5], "reshard_churn");
     }
 
     #[test]

@@ -8,15 +8,15 @@
 //! any worker count.
 
 use crate::spec::JobSpec;
-use adversary::{Adversary, MempoolStats, RoundSource};
-use runtime::{run_net_fds, run_net_sched, run_net_sched_from, EngineKind};
+use adversary::{Adversary, MempoolStats, ReshardSource, RoundSource};
+use runtime::{run_net_fds, run_net_sched, run_net_sched_from, run_net_sched_reshard, EngineKind};
 use schedulers::baseline::{FcfsConfig, FcfsSim};
 use schedulers::bds::{BdsConfig, BdsSim};
 use schedulers::driver::{drive, drive_with};
 use schedulers::fds::{FdsConfig, FdsSim};
 use schedulers::history::check_cross_shard_order;
 use schedulers::{RunReport, SchedulerKind};
-use sharding_core::Round;
+use sharding_core::{Round, SystemConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -34,6 +34,32 @@ pub struct JobOutcome {
     /// Ingestion-plane counters, when the spec ran the streaming
     /// mempool (`mempool = CAPACITY`).
     pub mempool: Option<MempoolStats>,
+    /// Migration audit for reshard jobs: `(lost, duplicated)` committed
+    /// transactions across the whole schedule — `(0, 0)` on every
+    /// correct run. `None` for static jobs.
+    pub reshard: Option<(u64, u64)>,
+}
+
+/// The workload source for a reshard job: the inner producer is built
+/// against the *initial* active shard count (only active shards own
+/// accounts at round 0), then wrapped so homes and groupings follow the
+/// plan's live placement version.
+fn reshard_source(spec: &JobSpec, sys: &SystemConfig) -> Box<dyn RoundSource> {
+    let plan = spec
+        .reshard_plan()
+        .expect("caller checked the schedule is non-empty");
+    let src_sys = SystemConfig {
+        shards: spec.shards,
+        ..sys.clone()
+    };
+    let map = spec.account_map();
+    match spec.ingest_pipeline(&src_sys, &map) {
+        Some(pipeline) => Box::new(ReshardSource::new(pipeline, plan)),
+        None => Box::new(ReshardSource::new(
+            Adversary::new(&src_sys, &map, spec.adversary_config()),
+            plan,
+        )),
+    }
 }
 
 /// The BDS tunables a spec selects.
@@ -65,14 +91,16 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
     let sys = spec.system_config();
     let map = spec.account_map();
     let adv = spec.adversary_config();
+    // Reshard jobs provision the metric for the schedule's maximum
+    // shard count (`sys.shards` == the plan's `s_max`).
     let metric = spec
         .metric
-        .build(spec.shards)
+        .build(sys.shards)
         .expect("spec validated at plan time");
     let rounds = Round(spec.rounds);
     if spec.engine == EngineKind::Net {
         let faults = spec.fault_plan();
-        let (report, mempool) = match spec.scheduler {
+        let (report, mempool, reshard) = match spec.scheduler {
             SchedulerKind::Fds => (
                 run_net_fds(
                     &sys,
@@ -86,11 +114,28 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                 )
                 .report,
                 None,
+                None,
             ),
             SchedulerKind::Fcfs => unreachable!("rejected at plan time"),
             // BDS proper and every zoo policy share the epoch host.
             kind => {
-                if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
+                if let Some(plan) = spec.reshard_plan() {
+                    let mut source = reshard_source(spec, &sys);
+                    let out = run_net_sched_reshard(
+                        &sys,
+                        &map,
+                        source.as_mut(),
+                        rounds,
+                        metric.as_ref(),
+                        bds_config(spec),
+                        &faults,
+                        kind,
+                        sys.shards,
+                        spec.metrics.enabled(),
+                        &plan,
+                    );
+                    (out.report, source.stats(), out.reshard_audit)
+                } else if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
                     // Firehose: the networked engine pre-drains the same
                     // stream the simulator drains live, so reports stay
                     // byte-identical across engines.
@@ -107,7 +152,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                         spec.metrics.enabled(),
                     )
                     .report;
-                    (report, pipeline.stats())
+                    (report, pipeline.stats(), None)
                 } else {
                     let report = run_net_sched(
                         &sys,
@@ -122,7 +167,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                         spec.metrics.enabled(),
                     )
                     .report;
-                    (report, None)
+                    (report, None, None)
                 }
             }
         };
@@ -131,9 +176,10 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
             report,
             violations: None,
             mempool,
+            reshard,
         };
     }
-    let (report, violations, mempool) = match spec.scheduler {
+    let (report, violations, mempool, reshard) = match spec.scheduler {
         SchedulerKind::Fds => {
             let fcfg = fds_config(spec);
             if spec.check_order {
@@ -153,13 +199,13 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
                     sim.step(batch);
                 }
                 let violations = check_cross_shard_order(sim.chains(), &all).len() as u64;
-                (sim.finish(), Some(violations), None)
+                (sim.finish(), Some(violations), None, None)
             } else {
                 let mut sim = FdsSim::new(&sys, &map, fcfg, metric.as_ref());
                 if spec.metrics.enabled() {
                     sim.enable_metrics();
                 }
-                (drive(sim, &sys, &map, &adv, rounds), None, None)
+                (drive(sim, &sys, &map, &adv, rounds), None, None, None)
             }
         }
         SchedulerKind::Fcfs => {
@@ -170,7 +216,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
             if spec.metrics.enabled() {
                 sim.enable_metrics();
             }
-            (drive(sim, &sys, &map, &adv, rounds), None, None)
+            (drive(sim, &sys, &map, &adv, rounds), None, None, None)
         }
         // BDS proper and every zoo policy share the epoch host; the
         // factory is the single registration point (`run_bds_with_metric`
@@ -185,11 +231,21 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
             if spec.metrics.enabled() {
                 sim.enable_metrics();
             }
-            if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
+            if let Some(plan) = spec.reshard_plan() {
+                // Hand-driven so the migration audit can run over the
+                // chains before the simulator is consumed.
+                sim.set_reshard(plan);
+                let mut source = reshard_source(spec, &sys);
+                for r in 0..spec.rounds {
+                    sim.step(source.next_round(Round(r)));
+                }
+                let audit = sim.reshard_audit();
+                (sim.finish(), None, source.stats(), Some(audit))
+            } else if let Some(mut pipeline) = spec.ingest_pipeline(&sys, &map) {
                 let report = drive_with(sim, &mut pipeline, rounds);
-                (report, None, pipeline.stats())
+                (report, None, pipeline.stats(), None)
             } else {
-                (drive(sim, &sys, &map, &adv, rounds), None, None)
+                (drive(sim, &sys, &map, &adv, rounds), None, None, None)
             }
         }
     };
@@ -198,6 +254,7 @@ pub fn run_job(spec: &JobSpec) -> JobOutcome {
         report,
         violations,
         mempool,
+        reshard,
     }
 }
 

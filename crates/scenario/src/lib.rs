@@ -66,7 +66,7 @@
 //! | `k` | max shards per transaction | `8` |
 //! | `nodes-per-shard` | `n_i` | `4` |
 //! | `faulty-per-shard` | `f_i` (needs `n_i > 3·f_i`) | `1` |
-//! | `placement` | `random:SEED` \| `round-robin` | `random:1` |
+//! | `placement` | `random:SEED` \| `round-robin` \| `vnode` | `random:1` |
 //! | `rounds` | simulated rounds | `8000` |
 //! | `rho` | injection rate `0 < ρ ≤ 1` | `0.1` |
 //! | `b` | burstiness `≥ 1` | `1` |
@@ -82,6 +82,7 @@
 //! | `respect-capacity` | `true` \| `false` (FCFS) | `true` |
 //! | `check-order` | verify cross-shard serialization order (FDS) | `false` |
 //! | `metrics` | `off` \| `summary` \| `full` — latency histograms, utilization floor, and (`full`) the per-epoch JSONL timeline | `off` |
+//! | `reshard` | `+N@R[; -N@R…]` \| `none` — live migration schedule: `+N` shards join / `-N` retire at the first epoch boundary at or after round `R`. Requires `placement = vnode`, an epoch-hosted scheduler, and a fault-free run; `shards` stays the *initial* active count | `none` |
 //!
 //! Two spellings resolve against the rest of the job rather than in
 //! isolation: `strategy = count-burst:auto` becomes the paper's Section 7

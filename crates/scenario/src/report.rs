@@ -20,14 +20,15 @@ pub const CSV_HEADER: &str = "scenario,job,scheduler,metric,shards,accounts,k,ro
 strategy,shape,seed,coloring,generated,committed,aborted,pending_at_end,avg_queue_per_shard,\
 avg_latency,max_latency,max_total_pending,epochs,max_epoch_len,messages,max_message_bytes,\
 verdict,order_violations,crashes,dropped_msgs,duplicated_msgs,byz_flips,\
-mempool_depth_max,admitted,deferred,evicted,lat_p50,lat_p99,lat_p999,util_min_shard";
+mempool_depth_max,admitted,deferred,evicted,lat_p50,lat_p99,lat_p999,util_min_shard,\
+reshard_lost,reshard_dup";
 
 /// One CSV data row (no trailing newline).
 pub fn csv_row(o: &JobOutcome) -> String {
     let s = &o.spec;
     let r = &o.report;
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{},{},{},{},{},{},{:?},{},{},{},{},{},{},{},{}",
         s.scenario,
         s.index,
         s.scheduler,
@@ -81,6 +82,12 @@ pub fn csv_row(o: &JobOutcome) -> String {
                 m.util_min_shard()
             ),
             None => ",,,".to_string(),
+        },
+        // And for the two migration-audit columns: static jobs render
+        // empty, a reshard job that truly lost nothing renders 0,0.
+        match o.reshard {
+            Some((lost, dup)) => format!("{lost},{dup}"),
+            None => ",".to_string(),
         },
     )
 }
@@ -164,6 +171,10 @@ pub fn json_line(o: &JobOutcome) -> String {
         fields.push(format!("\"lat_p999\":{}", m.lat_p999()));
         fields.push(format!("\"util_min_shard\":{:.4}", m.util_min_shard()));
     }
+    if let Some((lost, dup)) = o.reshard {
+        fields.push(format!("\"reshard_lost\":{lost}"));
+        fields.push(format!("\"reshard_dup\":{dup}"));
+    }
     format!("{{{}}}", fields.join(","))
 }
 
@@ -194,7 +205,8 @@ pub fn metrics_jsonl_string(outcomes: &[JobOutcome]) -> Option<String> {
             out.push_str(&format!(
                 "{{\"scenario\":\"{}\",\"job\":{},\"epoch\":{},\"start_round\":{},\
                  \"rounds\":{},\"commits\":{},\"aborts\":{},\"pending_max\":{},\
-                 \"pending_sum\":{},\"byz_flips\":{},\"crashed_shards_max\":{}}}\n",
+                 \"pending_sum\":{},\"byz_flips\":{},\"crashed_shards_max\":{},\
+                 \"active_shards\":{}}}\n",
                 json_escape(&o.spec.scenario),
                 o.spec.index,
                 row.epoch,
@@ -206,6 +218,7 @@ pub fn metrics_jsonl_string(outcomes: &[JobOutcome]) -> Option<String> {
                 row.pending_sum,
                 row.byz_flips,
                 row.crashed_shards_max,
+                row.active_shards,
             ));
         }
     }

@@ -9,7 +9,7 @@ use conflict::ColoringStrategy;
 use metrics::MetricsMode;
 use runtime::EngineKind;
 use schedulers::SchedulerKind;
-use sharding_core::{bounds, AccountMap, Round, ShardId, SystemConfig};
+use sharding_core::{bounds, AccountMap, ReshardPlan, Round, ShardId, SystemConfig, VnodeTable};
 use simnet::FaultPlan;
 use std::str::FromStr;
 
@@ -40,6 +40,38 @@ fn parse_crashes(value: &str) -> Result<Vec<(u32, u64)>, String> {
         .collect()
 }
 
+/// Parses the `reshard = +N@R[; -N@R...]` spelling (or `none`, so a
+/// grid axis can sweep migration schedules against a static control).
+fn parse_reshard(value: &str) -> Result<Vec<(i64, u64)>, String> {
+    if value == "none" {
+        return Ok(Vec::new());
+    }
+    value
+        .split(';')
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .map(|item| {
+            let (delta, round) = item
+                .split_once('@')
+                .ok_or_else(|| format!("reshard entry `{item}` is not +N@ROUND or -N@ROUND"))?;
+            let delta = delta.trim();
+            if !delta.starts_with('+') && !delta.starts_with('-') {
+                return Err(format!(
+                    "reshard delta `{delta}` needs an explicit sign (+N joins, -N retires)"
+                ));
+            }
+            let delta: i64 = delta
+                .parse()
+                .map_err(|_| format!("reshard delta `{delta}` is not an integer"))?;
+            let round: u64 = round
+                .trim()
+                .parse()
+                .map_err(|_| format!("reshard round `{round}` is not an integer"))?;
+            Ok((delta, round))
+        })
+        .collect()
+}
+
 /// How accounts are placed onto shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -48,6 +80,11 @@ pub enum Placement {
     Random(u64),
     /// Deterministic round-robin placement ([`AccountMap::round_robin`]).
     RoundRobin,
+    /// Consistent-hash placement through the vnode table
+    /// ([`VnodeTable::balanced`]) — required by (and the only placement
+    /// that supports) `reshard` schedules, because migrations are
+    /// expressed as vnode re-assignments.
+    Vnode,
 }
 
 impl std::fmt::Display for Placement {
@@ -55,6 +92,7 @@ impl std::fmt::Display for Placement {
         match self {
             Placement::Random(seed) => write!(f, "random:{seed}"),
             Placement::RoundRobin => write!(f, "round-robin"),
+            Placement::Vnode => write!(f, "vnode"),
         }
     }
 }
@@ -65,6 +103,7 @@ impl FromStr for Placement {
     fn from_str(s: &str) -> Result<Self, String> {
         match s.split_once(':') {
             None if s == "round-robin" => Ok(Placement::RoundRobin),
+            None if s == "vnode" => Ok(Placement::Vnode),
             Some(("random", seed)) => {
                 let seed: u64 = seed
                     .parse()
@@ -72,7 +111,7 @@ impl FromStr for Placement {
                 Ok(Placement::Random(seed))
             }
             _ => Err(format!(
-                "unknown placement `{s}` (expected random:SEED or round-robin)"
+                "unknown placement `{s}` (expected random:SEED, round-robin, or vnode)"
             )),
         }
     }
@@ -117,6 +156,7 @@ pub(crate) struct JobDraft {
     pub stream: Option<String>,
     pub offered: Option<u64>,
     pub metrics: MetricsMode,
+    pub reshard: Vec<(i64, u64)>,
 }
 
 impl Default for JobDraft {
@@ -155,6 +195,7 @@ impl Default for JobDraft {
             stream: None,
             offered: None,
             metrics: MetricsMode::Off,
+            reshard: Vec::new(),
         }
     }
 }
@@ -226,6 +267,7 @@ impl JobDraft {
             }
             "offered" => self.offered = Some(parse_num(value, "an integer")?),
             "metrics" => self.metrics = value.parse()?,
+            "reshard" => self.reshard = parse_reshard(value)?,
             other => return Err(format!("unknown key `{other}`")),
         }
         Ok(())
@@ -346,6 +388,39 @@ impl JobDraft {
         if self.offered == Some(0) {
             return Err("offered must be >= 1".into());
         }
+        if !self.reshard.is_empty() {
+            if self.placement != Placement::Vnode {
+                return Err(
+                    "reshard requires placement = vnode (migration schedules are \
+                     vnode-table re-assignments)"
+                        .into(),
+                );
+            }
+            if matches!(self.scheduler, SchedulerKind::Fds | SchedulerKind::Fcfs) {
+                return Err(format!(
+                    "reshard requires an epoch-hosted scheduler (bds or a zoo \
+                     policy); live migration under {} is future work",
+                    self.scheduler
+                ));
+            }
+            if faults_requested {
+                return Err(
+                    "reshard cannot be combined with fault keys — the zero-loss \
+                     migration audit is defined for fault-free runs"
+                        .into(),
+                );
+            }
+            // Validate the schedule itself (event ordering, active-set
+            // floor, provisioned-capacity system bounds) at plan time.
+            let probe = SystemConfig {
+                shards: self.shards,
+                nodes_per_shard: self.nodes_per_shard,
+                faulty_per_shard: self.faulty_per_shard,
+                k_max: self.k,
+                accounts,
+            };
+            ReshardPlan::build(self.shards, &probe, &self.reshard)?;
+        }
         let spec = JobSpec {
             scenario: scenario.to_string(),
             index,
@@ -383,9 +458,12 @@ impl JobDraft {
             stream,
             offered: self.offered,
             metrics: self.metrics,
+            reshard: self.reshard.clone(),
         };
         spec.system_config().validate().map_err(|e| e.to_string())?;
-        spec.metric.build(spec.shards)?;
+        // The metric spans the provisioned shard count (reshard jobs
+        // provision for the schedule's maximum).
+        spec.metric.build(spec.system_config().shards)?;
         spec.fault_plan().validate(spec.shards)?;
         Ok(spec)
     }
@@ -475,13 +553,24 @@ pub struct JobSpec {
     /// byte untouched; `summary` fills the percentile columns; `full`
     /// additionally emits the per-epoch timeline JSONL).
     pub metrics: MetricsMode,
+    /// Elastic reshard schedule: signed shard-count deltas by round
+    /// (`+N@R` activates the `N` lowest inactive ids, `-N@R` retires the
+    /// `N` highest active ids). Empty = static placement. `shards` stays
+    /// the *initial* active count; the provisioned system spans the
+    /// schedule's maximum (see [`system_config`](Self::system_config)).
+    pub reshard: Vec<(i64, u64)>,
 }
 
 impl JobSpec {
-    /// The system configuration this job runs against.
+    /// The system configuration this job runs against. For reshard jobs
+    /// this is the *provisioned* system — `shards` spans the schedule's
+    /// maximum active count, because every provisioned shard is a
+    /// protocol participant from round 0 (inactive ones simply own no
+    /// vnodes until their join event).
     pub fn system_config(&self) -> SystemConfig {
+        let shards = self.reshard_plan().map_or(self.shards, |plan| plan.s_max);
         SystemConfig {
-            shards: self.shards,
+            shards,
             nodes_per_shard: self.nodes_per_shard,
             faulty_per_shard: self.faulty_per_shard,
             k_max: self.k,
@@ -489,12 +578,36 @@ impl JobSpec {
         }
     }
 
-    /// The account placement map this job runs against.
+    /// The precomputed migration plan, or `None` for static jobs.
+    pub fn reshard_plan(&self) -> Option<ReshardPlan> {
+        if self.reshard.is_empty() {
+            return None;
+        }
+        let cfg = SystemConfig {
+            shards: self.shards,
+            nodes_per_shard: self.nodes_per_shard,
+            faulty_per_shard: self.faulty_per_shard,
+            k_max: self.k,
+            accounts: self.accounts,
+        };
+        Some(
+            ReshardPlan::build(self.shards, &cfg, &self.reshard)
+                .expect("reshard schedule validated at resolve time"),
+        )
+    }
+
+    /// The account placement map this job runs against. For reshard
+    /// jobs this is the plan's version-0 map (only initially active
+    /// shards own accounts).
     pub fn account_map(&self) -> AccountMap {
         let sys = self.system_config();
         match self.placement {
             Placement::Random(seed) => AccountMap::random(&sys, seed),
             Placement::RoundRobin => AccountMap::round_robin(&sys),
+            Placement::Vnode => match self.reshard_plan() {
+                Some(plan) => plan.versions[0].map.clone(),
+                None => VnodeTable::balanced(self.shards).account_map(&sys),
+            },
         }
     }
 
@@ -586,8 +699,21 @@ impl JobSpec {
             MetricsMode::Off => String::new(),
             mode => format!("metrics={mode} "),
         };
+        // And the reshard token only for migration jobs.
+        let reshard = if self.reshard.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "reshard={} ",
+                self.reshard
+                    .iter()
+                    .map(|(d, r)| format!("{d:+}@{r}"))
+                    .collect::<Vec<_>>()
+                    .join(";")
+            )
+        };
         format!(
-            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} {firehose}{metrics}[{}]",
+            "job {:>3}: {} engine={} {} s={} k={} rounds={} rho={} b={} strategy={} shape={} seed={} {firehose}{metrics}{reshard}[{}]",
             self.index,
             self.scheduler,
             self.engine,

@@ -198,6 +198,7 @@ fn firehose_zipf_report_matches_golden() {
 /// cp /tmp/camp/rolling-crash.csv crates/scenario/tests/golden/rolling_crash_rounds200.csv
 /// cp /tmp/camp/byz-ramp.csv crates/scenario/tests/golden/byz_ramp_rounds200.csv
 /// cp /tmp/camp/combined-stress.csv crates/scenario/tests/golden/combined_stress_rounds200.csv
+/// cp /tmp/camp/reshard-churn.csv crates/scenario/tests/golden/reshard_churn_rounds200.csv
 /// ```
 fn check_campaign_golden(scenario_file: &str, golden: &str) {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -213,7 +214,9 @@ fn check_campaign_golden(scenario_file: &str, golden: &str) {
     );
     for row in got.lines().skip(1) {
         let cols: Vec<&str> = row.split(',').collect();
-        let tail = &cols[cols.len() - 4..];
+        // The percentile/utilization group sits just before the two
+        // trailing migration-audit columns (empty for static jobs).
+        let tail = &cols[cols.len() - 6..cols.len() - 2];
         assert!(
             tail.iter().all(|c| !c.is_empty()),
             "campaign row lost its percentile/utilization columns: {row}"
@@ -244,6 +247,88 @@ fn byz_ramp_campaign_matches_golden() {
 #[test]
 fn combined_stress_campaign_matches_golden() {
     check_campaign_golden("combined_stress.scenario", "combined_stress_rounds200.csv");
+}
+
+#[test]
+fn reshard_churn_campaign_matches_golden() {
+    check_campaign_golden("reshard_churn.scenario", "reshard_churn_rounds200.csv");
+    // The churn row (job 0) must carry a machine-checked 0,0 audit; the
+    // static control (job 1, `reshard = none`) renders the columns
+    // empty — never a fake zero.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let golden = std::fs::read_to_string(dir.join("reshard_churn_rounds200.csv")).unwrap();
+    let rows: Vec<&str> = golden.lines().skip(1).collect();
+    assert_eq!(rows.len(), 2);
+    assert!(
+        rows[0].ends_with(",0,0"),
+        "churn job must audit zero lost / zero doubled: {}",
+        rows[0]
+    );
+    assert!(
+        rows[1].ends_with(",,"),
+        "static control renders empty audit columns: {}",
+        rows[1]
+    );
+}
+
+/// The tentpole goldens: 200-round live migrations, byte-pinned. The
+/// trailing `reshard_lost,reshard_dup` columns are asserted to read
+/// `0,0` *from the golden bytes themselves* — the no-loss/no-double
+/// invariant is machine-checked on every run of this suite, not just
+/// eyeballed once. Regenerate like the campaign goldens:
+///
+/// ```sh
+/// cargo run --release --bin blockshard -- run scenarios/scale_out.scenario \
+///     scenarios/scale_in.scenario --out /tmp/golden
+/// cp /tmp/golden/scale-out.csv crates/scenario/tests/golden/scale_out_rounds200.csv
+/// cp /tmp/golden/scale-in.csv crates/scenario/tests/golden/scale_in_rounds200.csv
+/// ```
+fn check_reshard_golden(scenario_file: &str, golden: &str) {
+    check_report_golden_at(scenario_file, golden, 200, &[]);
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let content = std::fs::read_to_string(dir.join(golden)).unwrap();
+    for row in content.lines().skip(1) {
+        assert!(
+            row.ends_with(",0,0"),
+            "migration audit must read 0,0 (lost, duplicated): {row}"
+        );
+    }
+}
+
+#[test]
+fn scale_out_report_matches_golden_with_zero_loss() {
+    check_reshard_golden("scale_out.scenario", "scale_out_rounds200.csv");
+}
+
+#[test]
+fn scale_in_report_matches_golden_with_zero_loss() {
+    check_reshard_golden("scale_in.scenario", "scale_in_rounds200.csv");
+}
+
+/// Engine interchangeability across a live migration: `scale_out` is a
+/// fault-free `engine = sim` scenario, and overriding the engine to
+/// `net` must reproduce the simulator golden byte for byte — the
+/// networked table updates, handoffs, and re-homing land on identical
+/// rounds, so the CSV (which deliberately has no engine column) cannot
+/// tell the engines apart.
+#[test]
+fn scale_out_with_net_engine_is_byte_identical() {
+    check_report_golden_at(
+        "scale_out.scenario",
+        "scale_out_rounds200.csv",
+        200,
+        &[("engine".to_string(), "net".to_string())],
+    );
+}
+
+#[test]
+fn scale_in_with_net_engine_is_byte_identical() {
+    check_report_golden_at(
+        "scale_in.scenario",
+        "scale_in_rounds200.csv",
+        200,
+        &[("engine".to_string(), "net".to_string())],
+    );
 }
 
 /// The engine-interchangeability guarantee extended to the metrics
@@ -278,7 +363,7 @@ fn every_checked_in_scenario_parses_and_plans() {
         }
     }
     assert!(
-        count >= 24,
+        count >= 27,
         "expected the shipped scenario set, found {count}"
     );
 }
@@ -333,6 +418,29 @@ fn malformed_inputs_fail_with_context() {
         (
             "name = x\n[grid]\nrho = 0.1\nrho = 0.2\n",
             "duplicate grid axis",
+        ),
+        ("name = x\nreshard = +2@100\n", "requires placement = vnode"),
+        (
+            "name = x\nplacement = vnode\nscheduler = fds\nreshard = +2@100\n",
+            "epoch-hosted scheduler",
+        ),
+        (
+            "name = x\nengine = net\nplacement = vnode\nreshard = +2@100\ncrash = 0@50\n",
+            "cannot be combined with fault keys",
+        ),
+        ("name = x\nreshard = 2@100\n", "explicit sign"),
+        ("name = x\nreshard = +2-100\n", "not +N@ROUND"),
+        (
+            "name = x\nplacement = vnode\nreshard = +2@0\n",
+            "round >= 1",
+        ),
+        (
+            "name = x\nshards = 4\nplacement = vnode\nreshard = -4@100\n",
+            "would leave",
+        ),
+        (
+            "name = x\nplacement = vnode\nreshard = +2@100; +1@50\n",
+            "strictly increase",
         ),
     ];
     for (text, needle) in cases {

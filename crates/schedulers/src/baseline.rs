@@ -35,6 +35,7 @@ pub struct FcfsConfig {
 #[derive(Debug)]
 pub struct FcfsSim {
     fcfg: FcfsConfig,
+    shards: u64,
     pending: BTreeMap<TxnId, Transaction>,
     collector: MetricsCollector,
     committed_log: Vec<(Round, TxnId)>,
@@ -48,6 +49,7 @@ impl FcfsSim {
         sys.validate().expect("valid system config");
         FcfsSim {
             fcfg,
+            shards: sys.shards as u64,
             pending: BTreeMap::new(),
             collector: MetricsCollector::new(sys.shards),
             committed_log: Vec::new(),
@@ -105,7 +107,7 @@ impl FcfsSim {
         }
         let pending = self.pending.len() as u64;
         self.collector.sample_pending(pending);
-        self.collector.sink.on_round(0, pending, 0, 0);
+        self.collector.sink.on_round(0, pending, 0, 0, self.shards);
         self.now = self.now.next();
     }
 

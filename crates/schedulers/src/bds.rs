@@ -37,7 +37,9 @@ use adversary::AdversaryConfig;
 use cluster::{ShardMetric, UniformMetric};
 use conflict::ColoringStrategy;
 use sharding_core::txn::SubTransaction;
-use sharding_core::{AccountMap, Round, ShardId, SystemConfig, Transaction, TxnId};
+use sharding_core::{
+    AccountId, AccountMap, ReshardPlan, Round, ShardId, SystemConfig, Transaction, TxnId,
+};
 use simnet::{LocalChain, Network, ShardLedger};
 use std::collections::BTreeMap;
 
@@ -88,6 +90,20 @@ enum Msg {
     Vote { txn: TxnId, commit: bool },
     /// Phase 3 round 3: home → destination, final decision.
     Decision { txn: TxnId, commit: bool },
+    /// Migration boundary: leader → **every** shard, announcing that the
+    /// pre-agreed reshard plan's next table version is now live. The plan
+    /// itself is configuration (like the fault plan), so only the version
+    /// index travels; the broadcast is the measured activation signal.
+    TableUpdate {
+        /// Index into the reshard plan's version sequence.
+        version: u32,
+    },
+    /// Migration boundary: old owner → new owner, the account balances
+    /// whose vnodes changed hands under the new table.
+    Handoff {
+        /// `(account, balance)` pairs surrendered to the receiver.
+        accounts: Vec<(AccountId, u64)>,
+    },
 }
 
 /// Estimated wire size of a BDS message in bytes.
@@ -97,7 +113,17 @@ fn msg_bytes(m: &Msg) -> usize {
         Msg::ColorAssign { assignments, .. } => 8 + 12 * assignments.len(),
         Msg::SubTxn(sub) => sub.approx_bytes(),
         Msg::Vote { .. } | Msg::Decision { .. } => 17,
+        Msg::TableUpdate { .. } => 12,
+        Msg::Handoff { accounts } => 8 + 16 * accounts.len(),
     }
+}
+
+/// Live migration state: the precomputed plan plus the version the
+/// engine is currently executing under.
+#[derive(Debug)]
+struct ReshardState {
+    plan: ReshardPlan,
+    cur: usize,
 }
 
 /// Per-transaction state at its home shard during the epoch it is
@@ -163,6 +189,9 @@ pub struct BdsSim {
     /// Per home shard: assignment list under construction during
     /// `phase2_color` (reused across epochs to avoid map churn).
     assign_scratch: Vec<Vec<(TxnId, u32)>>,
+    /// Elastic-resharding state; `None` for static-placement runs
+    /// (which then pay zero overhead and change zero bytes).
+    reshard: Option<ReshardState>,
 }
 
 impl BdsSim {
@@ -228,7 +257,37 @@ impl BdsSim {
             undecided: 0,
             policy,
             assign_scratch: vec![Vec::new(); s],
+            reshard: None,
         }
+    }
+
+    /// Arms a live-migration schedule. Must be called before the first
+    /// step; the system must be provisioned for the plan's `s_max` and
+    /// the account map used at construction must match the plan's
+    /// version-0 placement (the scenario executor guarantees both).
+    pub fn set_reshard(&mut self, plan: ReshardPlan) {
+        assert_eq!(
+            plan.s_max, self.sys.shards,
+            "system must be provisioned for the plan's s_max"
+        );
+        assert_eq!(self.now, Round::ZERO, "reshard plan armed after round 0");
+        self.reshard = Some(ReshardState { plan, cur: 0 });
+    }
+
+    /// Active (vnode-owning) shards right now: the current reshard
+    /// version's active-set size, or the full provisioned count for
+    /// static runs.
+    pub fn active_shards(&self) -> u64 {
+        self.reshard.as_ref().map_or(self.sys.shards as u64, |rs| {
+            rs.plan.versions[rs.cur].active.len() as u64
+        })
+    }
+
+    /// Table-independent loss/duplication audit over the local chains
+    /// and the commit log: `(lost, double_committed)` — both must be 0
+    /// after any reshard schedule.
+    pub fn reshard_audit(&self) -> (u64, u64) {
+        simnet::reshard_audit(&self.chains, &self.committed_log)
     }
 
     /// Current round.
@@ -339,6 +398,13 @@ impl BdsSim {
             for g in &mut self.color_groups {
                 g.clear();
             }
+            // Migration epoch boundary: advance the reshard plan before
+            // phase 1 so the new epoch schedules under the new table.
+            // Safe timing: fault-free epochs end with the network
+            // quiescent (the last color's decisions landed a gap before
+            // the rollover), so ownership moves cannot race in-flight
+            // subtransactions.
+            self.advance_reshard(now);
         }
         if now == self.epoch_start {
             self.phase1_send_pending();
@@ -368,8 +434,53 @@ impl BdsSim {
         self.collector.sample_pending(total_pending);
         self.collector
             .sink
-            .on_round(self.epoch, total_pending, 0, 0);
+            .on_round(self.epoch, total_pending, 0, 0, self.active_shards());
         self.now = self.now.next();
+    }
+
+    /// Steps the reshard plan through every version whose activation
+    /// round has passed. Per advanced version: the epoch leader
+    /// broadcasts the activation signal, then each shard (ascending id)
+    /// hands off its departing account balances (ascending destination).
+    /// That per-sender order is what the networked engine reproduces,
+    /// keeping fault-free reports byte-identical.
+    fn advance_reshard(&mut self, now: Round) {
+        loop {
+            let Some(rs) = &self.reshard else { return };
+            let next = rs.cur + 1;
+            if next >= rs.plan.versions.len() || rs.plan.versions[next].at > now.raw() {
+                return;
+            }
+            let moves = rs.plan.moves(rs.cur);
+            self.reshard.as_mut().expect("checked above").cur = next;
+            let leader = self.leader();
+            for h in 0..self.sys.shards {
+                self.net.send(
+                    leader,
+                    ShardId(h as u32),
+                    now,
+                    Msg::TableUpdate {
+                        version: next as u32,
+                    },
+                );
+            }
+            // Group the balance moves by (old owner, new owner); the
+            // BTreeMap iterates senders ascending, destinations
+            // ascending per sender.
+            let mut batches: BTreeMap<(ShardId, ShardId), Vec<(AccountId, u64)>> = BTreeMap::new();
+            for (account, from, to) in moves {
+                let balance = self.ledgers[from.index()]
+                    .remove_account(account)
+                    .expect("migrating account owned by its old shard");
+                batches
+                    .entry((from, to))
+                    .or_default()
+                    .push((account, balance));
+            }
+            for ((from, to), accounts) in batches {
+                self.net.send(from, to, now, Msg::Handoff { accounts });
+            }
+        }
     }
 
     /// Phase 1: every home shard drains its pending queue into the epoch
@@ -377,9 +488,21 @@ impl BdsSim {
     fn phase1_send_pending(&mut self) {
         let leader = self.leader();
         for h in 0..self.sys.shards {
-            let drained = std::mem::take(&mut self.injection[h]);
+            let mut drained = std::mem::take(&mut self.injection[h]);
             if drained.is_empty() {
                 continue;
+            }
+            // Under a reshard plan, rebuild each transaction's shard
+            // grouping against the *current* table: the source may have
+            // grouped under an older version (its version switches at
+            // event rounds, the engine's at migration epoch boundaries).
+            // Homes stay as assigned — accesses are account-based, so
+            // conflict coloring is placement-independent.
+            if let Some(rs) = &self.reshard {
+                let map = &rs.plan.versions[rs.cur].map;
+                for t in &mut drained {
+                    *t = t.regrouped(map);
+                }
             }
             self.injected_pending -= drained.len() as u64;
             self.undecided += drained.len() as u64;
@@ -563,6 +686,24 @@ impl BdsSim {
                         self.ledgers[d].apply(&sub);
                         self.append_buf[d].push(sub);
                     }
+                }
+            }
+            Msg::TableUpdate { version } => {
+                // The plan is pre-agreed configuration; the broadcast is
+                // the (measured) activation signal. The simulator's
+                // recipients already switched at the send round, so this
+                // only cross-checks the version bookkeeping.
+                debug_assert!(
+                    self.reshard
+                        .as_ref()
+                        .is_some_and(|rs| rs.cur == version as usize),
+                    "table-update version {version} does not match the live table"
+                );
+            }
+            Msg::Handoff { accounts } => {
+                let d = to.index();
+                for (account, balance) in accounts {
+                    self.ledgers[d].absorb(account, balance);
                 }
             }
         }
@@ -887,6 +1028,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn reshard_setup(
+        initial: usize,
+        events: &[(i64, u64)],
+    ) -> (SystemConfig, SystemConfig, AccountMap, ReshardPlan) {
+        let cfg = SystemConfig {
+            shards: 1, // overwritten by the plan's s_max
+            nodes_per_shard: 4,
+            faulty_per_shard: 1,
+            k_max: 3,
+            accounts: 64,
+        };
+        let plan = ReshardPlan::build(initial, &cfg, events).unwrap();
+        let sys = SystemConfig {
+            shards: plan.s_max,
+            ..cfg.clone()
+        };
+        let src_sys = SystemConfig {
+            shards: initial,
+            ..cfg
+        };
+        let map = plan.versions[0].map.clone();
+        (sys, src_sys, map, plan)
+    }
+
+    #[test]
+    fn live_scale_out_commits_without_loss() {
+        use adversary::{ReshardSource, RoundSource};
+        let (sys, src_sys, map, plan) = reshard_setup(4, &[(2, 60)]);
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        sim.set_reshard(plan.clone());
+        let adv = AdversaryConfig {
+            rho: 0.10,
+            burstiness: 4,
+            strategy: StrategyKind::UniformRandom,
+            seed: 17,
+            ..Default::default()
+        };
+        let mut src = ReshardSource::new(Adversary::new(&src_sys, &map, adv), plan);
+        for r in 0..400u64 {
+            sim.step(src.next_round(Round(r)));
+        }
+        for c in sim.chains() {
+            assert!(c.verify(), "chain of {} verifies", c.shard());
+        }
+        assert_eq!(sim.reshard_audit(), (0, 0), "no commit lost or doubled");
+        assert_eq!(sim.active_shards(), 6, "the +2 event activated");
+        let joined: usize = sim.chains()[4..].iter().map(|c| c.sub_count()).sum();
+        assert!(joined > 0, "joined shards commit after the migration");
+        let r = sim.finish();
+        assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn live_scale_in_commits_without_loss() {
+        use adversary::{ReshardSource, RoundSource};
+        let (sys, src_sys, map, plan) = reshard_setup(6, &[(-2, 60)]);
+        let mut sim = BdsSim::new(&sys, &map, BdsConfig::default());
+        sim.set_reshard(plan.clone());
+        let adv = AdversaryConfig {
+            rho: 0.10,
+            burstiness: 4,
+            strategy: StrategyKind::UniformRandom,
+            seed: 23,
+            ..Default::default()
+        };
+        let mut src = ReshardSource::new(Adversary::new(&src_sys, &map, adv), plan);
+        for r in 0..400u64 {
+            sim.step(src.next_round(Round(r)));
+        }
+        assert_eq!(sim.reshard_audit(), (0, 0));
+        assert_eq!(sim.active_shards(), 4, "the -2 event activated");
+        // Departed shards surrendered every account they owned.
+        assert_eq!(sim.ledgers()[4].total(), 0);
+        assert_eq!(sim.ledgers()[5].total(), 0);
+        let r = sim.finish();
+        assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn handoffs_conserve_total_balance() {
+        let (sys, _, map, plan) = reshard_setup(4, &[(2, 5), (-3, 9)]);
+        let bcfg = BdsConfig::default();
+        let mut sim = BdsSim::new(&sys, &map, bcfg);
+        sim.set_reshard(plan);
+        for _ in 0..60 {
+            sim.step(Vec::new());
+        }
+        assert_eq!(sim.active_shards(), 3);
+        let total: u64 = sim.ledgers().iter().map(|l| l.total()).sum();
+        assert_eq!(
+            total,
+            64 * bcfg.initial_balance,
+            "every balance survived two migrations"
+        );
     }
 
     #[test]

@@ -428,9 +428,13 @@ impl FdsSim {
             .sample_queue_value(leader_avg, self.outstanding);
         // The timeline's epoch is the layer-0 epoch, matching `finish()`'s
         // `epochs` quantity and the networked engine's derivation.
-        self.collector
-            .sink
-            .on_round(now.raw() / self.e0, self.outstanding, 0, 0);
+        self.collector.sink.on_round(
+            now.raw() / self.e0,
+            self.outstanding,
+            0,
+            0,
+            self.sys.shards as u64,
+        );
         self.now = self.now.next();
     }
 

@@ -160,6 +160,17 @@ impl AccountMap {
         }
     }
 
+    /// Builds a map from an explicit per-account owner vector over
+    /// `shards` shards (the vnode placement path: owners come from a
+    /// hash table, not a modulus). Panics if any owner is out of range.
+    pub fn from_owners(owner: Vec<ShardId>, shards: usize) -> Self {
+        let mut per_shard = vec![Vec::new(); shards];
+        for (a, &s) in owner.iter().enumerate() {
+            per_shard[s.index()].push(AccountId(a as u64));
+        }
+        AccountMap { owner, per_shard }
+    }
+
     /// Shard that owns `account`.
     pub fn owner(&self, account: AccountId) -> Result<ShardId> {
         self.owner

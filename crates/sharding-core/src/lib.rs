@@ -33,8 +33,10 @@ pub mod ids;
 pub mod rngutil;
 pub mod stats;
 pub mod txn;
+pub mod vnode;
 
 pub use config::{AccountMap, SystemConfig};
 pub use error::{Error, Result};
 pub use ids::{AccountId, EpochId, NodeId, Round, ShardId, TxnId};
 pub use txn::{Access, AccessKind, Action, Condition, SubTransaction, Transaction};
+pub use vnode::{ReshardPlan, ReshardVersion, VnodeTable, VNODE_COUNT};

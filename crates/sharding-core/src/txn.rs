@@ -178,6 +178,55 @@ impl Transaction {
         false
     }
 
+    /// Rebuilds the per-shard split under a different placement map —
+    /// the live-migration path: a transaction built (or last grouped)
+    /// under an older vnode table is regrouped so every condition and
+    /// action lands on its *current* owner. Id, home, generation round,
+    /// and the access list are preserved; only the sub boundaries move.
+    /// Regrouping under the map that produced the split is the
+    /// identity, and the result always satisfies the same `k_max` the
+    /// original did (distinct destinations never exceed distinct
+    /// accounts).
+    pub fn regrouped(&self, map: &AccountMap) -> Transaction {
+        fn sub_for(
+            per_shard: &mut BTreeMap<ShardId, SubTransaction>,
+            dest: ShardId,
+            id: TxnId,
+        ) -> &mut SubTransaction {
+            per_shard.entry(dest).or_insert_with(|| SubTransaction {
+                txn: id,
+                dest,
+                conditions: Vec::new(),
+                actions: Vec::new(),
+            })
+        }
+        let mut per_shard: BTreeMap<ShardId, SubTransaction> = BTreeMap::new();
+        // Conditions first, then actions, each in existing sub order —
+        // the same discipline TxnBuilder uses, so the regroup is
+        // deterministic and idempotent.
+        for sub in &self.subs {
+            for c in &sub.conditions {
+                sub_for(&mut per_shard, map.owner_unchecked(c.account), self.id)
+                    .conditions
+                    .push(*c);
+            }
+        }
+        for sub in &self.subs {
+            for a in &sub.actions {
+                sub_for(&mut per_shard, map.owner_unchecked(a.account), self.id)
+                    .actions
+                    .push(*a);
+            }
+        }
+        Transaction {
+            id: self.id,
+            home: self.home,
+            generated: self.generated,
+            subs: per_shard.into_values().collect(),
+            accesses: self.accesses.clone(),
+        }
+    }
+
     /// Checks the structural invariants; used by tests and debug assertions.
     pub fn validate(&self, k_max: usize) -> Result<()> {
         if self.accesses.is_empty() {
@@ -489,6 +538,44 @@ mod tests {
             t.conflicts_with(&t),
             "a writer conflicts with itself (used as sanity)"
         );
+    }
+
+    #[test]
+    fn regroup_under_same_map_is_identity() {
+        let (_, map) = setup();
+        let t = TxnBuilder::new(TxnId(9), ShardId(3), Round(2), &map)
+            .check(AccountId(0), 10)
+            .update(AccountId(4), -5)
+            .update(AccountId(1), 5)
+            .build()
+            .unwrap();
+        assert_eq!(t.regrouped(&map), t);
+    }
+
+    #[test]
+    fn regroup_follows_ownership_moves() {
+        let (cfg, map) = setup();
+        let t = TxnBuilder::new(TxnId(9), ShardId(0), Round(2), &map)
+            .check(AccountId(0), 10)
+            .update(AccountId(0), -5)
+            .update(AccountId(1), 5)
+            .build()
+            .unwrap();
+        assert_eq!(t.shard_count(), 2, "accounts 0,1 on shards 0,1");
+        // Move every account onto shard 2 and regroup: one sub, all
+        // parts intact, metadata untouched.
+        let owner = vec![ShardId(2); cfg.accounts];
+        let moved = AccountMap::from_owners(owner, cfg.shards);
+        let r = t.regrouped(&moved);
+        assert_eq!(r.id, t.id);
+        assert_eq!(r.home, t.home);
+        assert_eq!(r.generated, t.generated);
+        assert_eq!(r.accesses(), t.accesses());
+        assert_eq!(r.shard_count(), 1);
+        assert_eq!(r.subs[0].dest, ShardId(2));
+        assert_eq!(r.subs[0].conditions.len(), 1);
+        assert_eq!(r.subs[0].actions.len(), 2);
+        r.validate(2).unwrap();
     }
 
     #[test]

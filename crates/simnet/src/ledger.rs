@@ -44,6 +44,26 @@ impl ShardLedger {
         self.balances.values().sum()
     }
 
+    /// Surrenders ownership of `account`, returning its balance for a
+    /// migration handoff (None when this shard never owned it). After
+    /// this call the shard votes false on any sub touching the account,
+    /// which is exactly the fail-safe a stale destination deserves.
+    pub fn remove_account(&mut self, account: AccountId) -> Option<u64> {
+        self.balances.remove(&account)
+    }
+
+    /// Absorbs ownership of `account` at `balance` — the receiving end
+    /// of a migration handoff. Panics if the account is already owned:
+    /// double absorption means the migration protocol double-sent.
+    pub fn absorb(&mut self, account: AccountId, balance: u64) {
+        let prev = self.balances.insert(account, balance);
+        assert!(
+            prev.is_none(),
+            "handoff double-delivered account {account} to shard {}",
+            self.shard
+        );
+    }
+
     /// Vote for `sub`: true iff every condition holds and every action is
     /// applicable without underflow when executed in order.
     pub fn check(&self, sub: &SubTransaction) -> bool {

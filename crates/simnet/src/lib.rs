@@ -41,7 +41,7 @@ pub mod ledger;
 pub mod network;
 pub mod pbft;
 
-pub use blockchain::{Block, LocalChain};
+pub use blockchain::{reshard_audit, Block, LocalChain};
 pub use faults::{FaultCounters, FaultDecision, FaultPlan, LinkBank, LinkFaults};
 pub use ledger::ShardLedger;
 pub use network::{Envelope, Network};
